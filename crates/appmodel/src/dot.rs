@@ -1,0 +1,155 @@
+//! Graphviz/DOT export of application structure.
+//!
+//! Renders the import graph the way the paper's Fig. 5 draws dependency
+//! graphs: eager imports as solid edges, deferred imports as dashed edges,
+//! side-effectful modules highlighted, stripped modules greyed out. Useful
+//! for eyeballing what an optimization actually changed:
+//!
+//! ```sh
+//! cargo run --release --bin slimstart -- graph R-GB | dot -Tsvg > rgb.svg
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::app::Application;
+use crate::ids::ModuleId;
+
+/// Escapes a DOT identifier/label.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn node_id(m: ModuleId) -> String {
+    format!("m{}", m.index())
+}
+
+/// Renders the application's module/import graph as a DOT digraph.
+///
+/// Nodes are modules (labelled with their dotted name and init cost in
+/// milliseconds); clusters group library packages; edge style encodes the
+/// import mode.
+pub fn import_graph_dot(app: &Application) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", esc(app.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+
+    // Cluster per library, app code on its own.
+    for (li, lib) in app.libraries().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{li} {{");
+        let _ = writeln!(out, "    label=\"{}\";", esc(lib.name()));
+        for m in lib.modules() {
+            let module = app.module(*m);
+            let style = if module.stripped() {
+                ", style=filled, fillcolor=gray80, fontcolor=gray40"
+            } else if module.side_effectful() {
+                ", style=filled, fillcolor=lightsalmon"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {} [label=\"{}\\n{:.1} ms\"{}];",
+                node_id(*m),
+                esc(module.name()),
+                module.init_cost().as_millis_f64(),
+                style
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (i, module) in app.modules().iter().enumerate() {
+        if module.library().is_none() {
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\\n{:.1} ms\", style=filled, fillcolor=lightblue];",
+                node_id(ModuleId::from_index(i)),
+                esc(module.name()),
+                module.init_cost().as_millis_f64()
+            );
+        }
+    }
+
+    for (importer, decl) in app.all_imports() {
+        let style = if decl.mode.is_global() {
+            ""
+        } else {
+            " [style=dashed, color=gray50, label=\"deferred\", fontsize=8]"
+        };
+        let _ = writeln!(
+            out,
+            "  {} -> {}{};",
+            node_id(importer),
+            node_id(decl.target),
+            style
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppBuilder;
+    use crate::imports::ImportMode;
+    use slimstart_simcore::time::SimDuration;
+
+    fn app() -> Application {
+        let mut b = AppBuilder::new("demo");
+        let lib = b.add_library("nltk");
+        let h = b.add_app_module("handler", SimDuration::from_millis(1), 0);
+        let root = b.add_library_module("nltk", SimDuration::from_millis(2), 0, false, lib);
+        let sem = b.add_library_module("nltk.sem", SimDuration::from_millis(40), 0, false, lib);
+        let sfx = b.add_library_module("nltk.plugins", SimDuration::from_millis(5), 0, true, lib);
+        b.add_import(h, root, 2, ImportMode::Global).unwrap();
+        b.add_import(root, sem, 2, ImportMode::Deferred).unwrap();
+        b.add_import(root, sfx, 3, ImportMode::Global).unwrap();
+        let f = b.add_function("main", h, 4, vec![]);
+        b.add_handler("main", f);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_clusters_nodes_and_edges() {
+        let dot = import_graph_dot(&app());
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"nltk\""));
+        assert!(dot.contains("handler\\n1.0 ms"));
+        assert!(dot.contains("fillcolor=lightblue")); // app code
+        assert!(dot.contains("fillcolor=lightsalmon")); // side-effectful
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn deferred_edges_are_dashed() {
+        let dot = import_graph_dot(&app());
+        let dashed = dot
+            .lines()
+            .filter(|l| l.contains("style=dashed"))
+            .count();
+        assert_eq!(dashed, 1);
+        // Eager edges carry no style suffix.
+        let eager = dot
+            .lines()
+            .filter(|l| l.contains(" -> ") && !l.contains("style=dashed"))
+            .count();
+        assert_eq!(eager, 2);
+    }
+
+    #[test]
+    fn stripped_modules_are_grey() {
+        let mut a = app();
+        let sem = a.module_by_name("nltk.sem").unwrap();
+        a.module_mut(sem).set_stripped(true);
+        let dot = import_graph_dot(&a);
+        assert!(dot.contains("fillcolor=gray80"));
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let dot = import_graph_dot(&app());
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for application-model construction and validation.
+
+use std::fmt;
+
+use crate::ids::{FunctionId, ModuleId};
+
+/// Errors raised while building or validating an
+/// [`Application`](crate::app::Application).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AppModelError {
+    /// A module id did not refer to an existing module.
+    UnknownModule(ModuleId),
+    /// A function id did not refer to an existing function.
+    UnknownFunction(FunctionId),
+    /// Two modules were given the same dotted name.
+    DuplicateModuleName(String),
+    /// The same importer declared the same target twice.
+    DuplicateImport {
+        /// The module containing the duplicate declaration.
+        importer: ModuleId,
+        /// The doubly-imported target.
+        target: ModuleId,
+    },
+    /// A module imported itself.
+    SelfImport(ModuleId),
+    /// The global-import graph contains a cycle through this module.
+    ImportCycle(ModuleId),
+    /// A branch probability was outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// The application has no handler.
+    NoHandlers,
+    /// An application must contain at least one module.
+    Empty,
+}
+
+impl fmt::Display for AppModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppModelError::UnknownModule(id) => write!(f, "unknown module {id}"),
+            AppModelError::UnknownFunction(id) => write!(f, "unknown function {id}"),
+            AppModelError::DuplicateModuleName(name) => {
+                write!(f, "duplicate module name `{name}`")
+            }
+            AppModelError::DuplicateImport { importer, target } => {
+                write!(f, "module {importer} imports {target} more than once")
+            }
+            AppModelError::SelfImport(id) => write!(f, "module {id} imports itself"),
+            AppModelError::ImportCycle(id) => {
+                write!(f, "global import graph has a cycle through module {id}")
+            }
+            AppModelError::InvalidProbability(p) => {
+                write!(f, "branch probability {p} is outside [0, 1]")
+            }
+            AppModelError::NoHandlers => write!(f, "application declares no handlers"),
+            AppModelError::Empty => write!(f, "application contains no modules"),
+        }
+    }
+}
+
+impl std::error::Error for AppModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AppModelError::DuplicateModuleName("nltk".into());
+        assert!(e.to_string().contains("nltk"));
+        let e = AppModelError::ImportCycle(ModuleId::from_index(3));
+        assert!(e.to_string().contains("m3"));
+    }
+}

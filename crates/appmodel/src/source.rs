@@ -1,0 +1,269 @@
+//! Source projection: renders a module as Python-like source text.
+//!
+//! The model, not text, is the source of truth; this module *projects* a
+//! module into readable code so that optimization reports can show
+//! before/after diffs in the style of the paper's Table I, and so the
+//! optimizer's edits are human-auditable.
+
+use std::fmt::Write as _;
+
+use crate::app::Application;
+use crate::function::{Stmt, StmtKind};
+use crate::ids::ModuleId;
+
+/// Renders `module` as Python-like source text reflecting its *current*
+/// import modes: global imports appear at the top level, deferred imports
+/// appear commented out at the top level and re-inserted inside the first
+/// function that reaches them.
+pub fn render_module(app: &Application, module: ModuleId) -> String {
+    let m = app.module(module);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", m.file());
+    for decl in app.imports_of(module) {
+        let target = app.module(decl.target);
+        if decl.mode.is_global() {
+            let _ = writeln!(out, "import {}  # line {}", target.name(), decl.line);
+        } else {
+            let _ = writeln!(
+                out,
+                "# import {}  # line {} (deferred by slimstart)",
+                target.name(),
+                decl.line
+            );
+        }
+    }
+    let by_module = app.functions_by_module();
+    for fid in &by_module[module.index()] {
+        let f = app.function(*fid);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "def {}():  # line {}", f.name(), f.line());
+        let deferred: Vec<_> = app
+            .imports_of(module)
+            .iter()
+            .filter(|d| d.mode.is_deferred())
+            .collect();
+        // Deferred imports surface inside functions that use the target.
+        for d in &deferred {
+            if function_uses_module(app, *fid, d.target) {
+                let _ = writeln!(
+                    out,
+                    "    import {}  # deferred by slimstart",
+                    app.module(d.target).name()
+                );
+            }
+        }
+        render_stmts(app, f.body(), 1, &mut out);
+        if f.body().is_empty() {
+            let _ = writeln!(out, "    pass");
+        }
+    }
+    out
+}
+
+fn render_stmts(app: &Application, stmts: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Work(d) => {
+                let _ = writeln!(out, "{pad}compute({:.3})  # line {}", d.as_millis_f64(), stmt.line);
+            }
+            StmtKind::Call(site) => {
+                let callee = app.function(site.target);
+                let owner = app.module(callee.module());
+                let _ = writeln!(
+                    out,
+                    "{pad}{}.{}()  # line {}",
+                    owner.name(),
+                    callee.name(),
+                    stmt.line
+                );
+            }
+            StmtKind::Touch(m) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}_ = {}.CONSTANT  # line {}",
+                    app.module(*m).name(),
+                    stmt.line
+                );
+            }
+            StmtKind::Branch { probability, body } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}if request_condition(p={probability}):  # line {}",
+                    stmt.line
+                );
+                render_stmts(app, body, indent + 1, out);
+                if body.is_empty() {
+                    let _ = writeln!(out, "{pad}    pass");
+                }
+            }
+        }
+    }
+}
+
+/// Whether `function` (transitively) calls into `target_module`.
+///
+/// Used to decide where a deferred import surfaces in rendered source and by
+/// the optimizer to locate first-use points.
+pub fn function_uses_module(
+    app: &Application,
+    function: crate::ids::FunctionId,
+    target_module: ModuleId,
+) -> bool {
+    let mut seen = vec![false; app.functions().len()];
+    let mut stack = vec![function];
+    while let Some(f) = stack.pop() {
+        if seen[f.index()] {
+            continue;
+        }
+        seen[f.index()] = true;
+        let func = app.function(f);
+        if func.module() == target_module || func.touched_modules().contains(&target_module) {
+            return true;
+        }
+        for site in func.call_sites() {
+            stack.push(site.target);
+        }
+    }
+    false
+}
+
+/// Whether `function` (transitively) calls into any module of the dotted
+/// `package` subtree.
+pub fn function_uses_package(
+    app: &Application,
+    function: crate::ids::FunctionId,
+    package: &str,
+) -> bool {
+    let mut seen = vec![false; app.functions().len()];
+    let mut stack = vec![function];
+    while let Some(f) = stack.pop() {
+        if seen[f.index()] {
+            continue;
+        }
+        seen[f.index()] = true;
+        let func = app.function(f);
+        if app.module(func.module()).in_package(package)
+            || func
+                .touched_modules()
+                .iter()
+                .any(|m| app.module(*m).in_package(package))
+        {
+            return true;
+        }
+        for site in func.call_sites() {
+            stack.push(site.target);
+        }
+    }
+    false
+}
+
+/// A single line-level edit made by an optimizer, for report rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeEdit {
+    /// The file the edit applies to.
+    pub file: String,
+    /// The 1-based line of the original global import.
+    pub line: u32,
+    /// The original statement text.
+    pub before: String,
+    /// The replacement at the original site (commented-out import).
+    pub after: String,
+    /// Description of where the deferred import was inserted.
+    pub inserted: String,
+}
+
+impl std::fmt::Display for CodeEdit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}:{}", self.file, self.line)?;
+        writeln!(f, "  - {}", self.before)?;
+        writeln!(f, "  + {}", self.after)?;
+        write!(f, "  + {}", self.inserted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppBuilder;
+    use crate::imports::ImportMode;
+    use slimstart_simcore::time::SimDuration;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    fn demo_app() -> Application {
+        let mut b = AppBuilder::new("t");
+        let lib = b.add_library("nltk");
+        let h = b.add_app_module("handler", ms(1), 1);
+        let root = b.add_library_module("nltk", ms(1), 1, false, lib);
+        let sem = b.add_library_module("nltk.sem", ms(1), 1, false, lib);
+        b.add_import(h, root, 2, ImportMode::Global).unwrap();
+        b.add_import(root, sem, 2, ImportMode::Global).unwrap();
+        let fs = b.add_function(
+            "parse",
+            sem,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::Work(ms(1)),
+            }],
+        );
+        let fh = b.add_function(
+            "main",
+            h,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::call(fs),
+            }],
+        );
+        b.add_handler("main", fh);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn global_imports_render_at_top_level() {
+        let app = demo_app();
+        let h = app.module_by_name("handler").unwrap();
+        let src = render_module(&app, h);
+        assert!(src.contains("import nltk  # line 2"));
+        assert!(src.contains("def main():"));
+    }
+
+    #[test]
+    fn deferred_imports_render_commented_and_inside_user() {
+        let mut app = demo_app();
+        let root = app.module_by_name("nltk").unwrap();
+        let sem = app.module_by_name("nltk.sem").unwrap();
+        app.set_import_mode(root, sem, ImportMode::Deferred);
+        let src = render_module(&app, root);
+        assert!(src.contains("# import nltk.sem"));
+        assert!(src.contains("(deferred by slimstart)"));
+    }
+
+    #[test]
+    fn function_uses_module_is_transitive() {
+        let app = demo_app();
+        let fh = app.handlers()[0].function();
+        let sem = app.module_by_name("nltk.sem").unwrap();
+        let root = app.module_by_name("nltk").unwrap();
+        assert!(function_uses_module(&app, fh, sem));
+        assert!(!function_uses_module(&app, fh, root)); // no function in nltk root
+    }
+
+    #[test]
+    fn code_edit_display_shows_diff() {
+        let edit = CodeEdit {
+            file: "nltk/__init__.py".into(),
+            line: 2,
+            before: "import nltk.sem".into(),
+            after: "# import nltk.sem".into(),
+            inserted: "import nltk.sem at nltk/sem_user.py:10".into(),
+        };
+        let shown = edit.to_string();
+        assert!(shown.contains("nltk/__init__.py:2"));
+        assert!(shown.contains("- import nltk.sem"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 1: ratio of library initialization time to end-to-end time.
+//!
+//! The paper's motivation study: for the majority of serverless
+//! applications, library initialization contributes more than 70 % of total
+//! end-to-end time on a cold start. We deploy every catalog application
+//! unmodified, execute the cold-start series, and report the measured
+//! breakdown.
+
+use slimstart_appmodel::catalog::catalog;
+use slimstart_bench::table::{pct, TextTable};
+use slimstart_bench::{cold_starts, seed};
+use slimstart_core::pipeline::{Pipeline, PipelineConfig};
+
+fn main() {
+    let n = cold_starts();
+    let seed = seed();
+    println!("== Figure 1: library initialization vs end-to-end time ==");
+    println!("({n} cold starts per application, seed {seed})\n");
+
+    let mut table = TextTable::new(vec![
+        "App",
+        "Suite",
+        "Lib init (ms)",
+        "End-to-end (ms)",
+        "Init ratio",
+    ]);
+    let mut above_70 = 0usize;
+    let mut total = 0usize;
+
+    for entry in catalog() {
+        let built = entry.build(seed).expect("catalog entry builds");
+        let config = PipelineConfig {
+            cold_starts: n,
+            seed,
+            ..PipelineConfig::default()
+        };
+        let outcome = Pipeline::new(config)
+            .run(&built.app, &entry.workload_weights())
+            .expect("pipeline runs");
+        let ratio = outcome.baseline.mean_load_ms / outcome.baseline.mean_e2e_ms;
+        total += 1;
+        if ratio > 0.70 {
+            above_70 += 1;
+        }
+        table.row(vec![
+            entry.code.to_string(),
+            entry.suite.label().to_string(),
+            format!("{:.1}", outcome.baseline.mean_load_ms),
+            format!("{:.1}", outcome.baseline.mean_e2e_ms),
+            pct(ratio),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "{above_70}/{total} applications spend >70% of end-to-end time in library initialization"
+    );
+    println!("(paper: \"for the majority of serverless applications, library initialization");
+    println!(" contributes to more than 70% of the total end-to-end time\")");
+}

@@ -1,0 +1,48 @@
+//! Figure 3: production-trace statistics.
+//!
+//! (1) PDF of serverless applications by number of handler functions — the
+//! paper reports 54 % of apps have more than one entry function.
+//! (2) CDF of entry-point invocation frequencies by popularity rank — the
+//! top few handlers account for over 80 % of cumulative invocations.
+
+use slimstart_bench::seed;
+use slimstart_bench::table::TextTable;
+use slimstart_workload::trace::{ProductionTrace, TraceConfig};
+
+fn main() {
+    let trace = ProductionTrace::generate(TraceConfig::default(), seed());
+    println!("== Figure 3: production trace (119 apps, 14 days) ==\n");
+
+    println!("(1) PDF of applications by number of handler functions");
+    let mut pdf = TextTable::new(vec!["# handlers", "fraction of apps", "bar"]);
+    for (count, frac) in trace.handler_count_pdf() {
+        pdf.row(vec![
+            count.to_string(),
+            format!("{:.3}", frac),
+            "#".repeat((frac * 100.0).round() as usize),
+        ]);
+    }
+    println!("{}", pdf.render());
+    println!(
+        "multi-handler fraction: {:.1}%  (paper: 54% of apps have >1 entry function)\n",
+        trace.multi_handler_fraction() * 100.0
+    );
+
+    println!("(2) CDF of entry-point invocations by popularity rank");
+    let cdf = trace.invocation_cdf_by_rank();
+    let mut cdf_table = TextTable::new(vec!["top-k handlers", "cumulative share", "bar"]);
+    for (rank, share) in cdf.iter().enumerate().take(10) {
+        cdf_table.row(vec![
+            (rank + 1).to_string(),
+            format!("{:.3}", share),
+            "#".repeat((share * 50.0).round() as usize),
+        ]);
+    }
+    println!("{}", cdf_table.render());
+    println!(
+        "top-3 handlers cover {:.1}% of invocations  (paper: top few handlers >80%)",
+        cdf.get(2).copied().unwrap_or(1.0) * 100.0
+    );
+    println!("\nObservation 3: handler usage is highly skewed — libraries tied to");
+    println!("rarely-invoked entry points are workload-dependent dead weight.");
+}

@@ -1,0 +1,47 @@
+//! Figure 8: memory reduction achieved by SlimStart.
+//!
+//! Peak runtime memory before vs after optimization for every application
+//! that cleared the gate; the paper reports reductions up to 1.51×.
+
+use slimstart_appmodel::catalog::catalog;
+use slimstart_bench::table::{times, TextTable};
+use slimstart_bench::{cold_starts, run_catalog_app, seed};
+
+fn main() {
+    let n = cold_starts();
+    let seed = seed();
+    println!("== Figure 8: memory reduction ==\n");
+
+    let mut table = TextTable::new(vec![
+        "App",
+        "Before (MB)",
+        "After (MB)",
+        "Reduction",
+        "Paper",
+        "bar",
+    ]);
+    let mut max_reduction: f64 = 0.0;
+
+    for entry in catalog() {
+        let run = run_catalog_app(&entry, n, seed);
+        let out = &run.outcome;
+        if !out.report.gate_passed {
+            continue;
+        }
+        max_reduction = max_reduction.max(out.speedup.mem);
+        table.row(vec![
+            entry.code.to_string(),
+            format!("{:.1}", out.baseline.peak_mem_mb),
+            format!("{:.1}", out.optimized.peak_mem_mb),
+            times(out.speedup.mem),
+            times(entry.paper.mem_reduction),
+            "#".repeat(((out.speedup.mem - 1.0) * 40.0).max(0.0).round() as usize),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "max memory reduction: {} (paper: up to 1.51x)",
+        times(max_reduction)
+    );
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the profiler's hot data structures:
+//! CCT insertion, escalation (inclusive counts), merging, and utilization
+//! computation over realistic sample batches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slimstart_appmodel::catalog::by_code;
+use slimstart_core::cct::Cct;
+use slimstart_core::profile::SampleRecord;
+use slimstart_core::utilization::Utilization;
+use slimstart_pyrt::stack::{Frame, FrameKind};
+use slimstart_simcore::rng::SimRng;
+
+/// Generates `n` synthetic samples with realistic path shapes (depth 3–9,
+/// heavy path reuse as real workloads exhibit).
+fn synth_samples(n: usize, seed: u64) -> Vec<SampleRecord> {
+    let mut rng = SimRng::seed_from(seed);
+    // 64 distinct call sites reused across paths.
+    let sites: Vec<Frame> = (0..64)
+        .map(|i| Frame {
+            kind: FrameKind::Call(slimstart_appmodel::FunctionId::from_index(i)),
+            line: 10 + (i % 7) as u32,
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let depth = 3 + rng.next_below(7);
+            let path: Vec<Frame> = (0..depth)
+                .map(|d| sites[(d * 7 + rng.next_below(8)) % sites.len()])
+                .collect();
+            SampleRecord {
+                path,
+                is_init: rng.chance(0.3),
+            }
+        })
+        .collect()
+}
+
+fn bench_cct_insert(c: &mut Criterion) {
+    let samples = synth_samples(10_000, 42);
+    c.bench_function("cct_insert_10k_samples", |b| {
+        b.iter(|| {
+            let mut cct = Cct::new();
+            for s in &samples {
+                cct.insert(black_box(&s.path), s.is_init);
+            }
+            black_box(cct.len())
+        })
+    });
+}
+
+fn bench_cct_inclusive(c: &mut Criterion) {
+    let samples = synth_samples(50_000, 43);
+    let cct = Cct::from_samples(&samples);
+    c.bench_function("cct_escalation_inclusive", |b| {
+        b.iter(|| black_box(cct.inclusive()))
+    });
+}
+
+fn bench_cct_merge(c: &mut Criterion) {
+    let a = Cct::from_samples(&synth_samples(5_000, 44));
+    let b_tree = Cct::from_samples(&synth_samples(5_000, 45));
+    c.bench_function("cct_merge_5k_into_5k", |bench| {
+        bench.iter(|| {
+            let mut merged = a.clone();
+            merged.merge(black_box(&b_tree));
+            black_box(merged.total_samples())
+        })
+    });
+}
+
+fn bench_utilization(c: &mut Criterion) {
+    // Real application shape: R-GB's profile-sized sample batch, with paths
+    // drawn from the app's actual functions.
+    let entry = by_code("R-GB").expect("catalog");
+    let built = entry.build(7).expect("builds");
+    let mut rng = SimRng::seed_from(46);
+    let n_fns = built.app.functions().len();
+    let samples: Vec<SampleRecord> = (0..20_000)
+        .map(|_| {
+            let depth = 2 + rng.next_below(4);
+            let path: Vec<Frame> = (0..depth)
+                .map(|_| Frame {
+                    kind: FrameKind::Call(slimstart_appmodel::FunctionId::from_index(
+                        rng.next_below(n_fns),
+                    )),
+                    line: 10,
+                })
+                .collect();
+            SampleRecord {
+                path,
+                is_init: rng.chance(0.3),
+            }
+        })
+        .collect();
+    c.bench_function("utilization_20k_samples", |b| {
+        b.iter(|| black_box(Utilization::from_samples(samples.iter(), &built.app)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cct_insert,
+    bench_cct_inclusive,
+    bench_cct_merge,
+    bench_utilization
+);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Supplementary experiment: SlimStart under realistic mixed traffic, and
+//! its composition with platform-level pre-warming.
+//!
+//! The paper evaluates forced cold starts (its Table II methodology) and
+//! positions itself as *complementary* to platform-level mitigations such
+//! as pre-warmed instances (§VII). This experiment quantifies both claims
+//! on the simulator:
+//!
+//! 1. under bursty Poisson traffic with a 10-minute keep-alive, only a
+//!    fraction of requests cold-start, so the end-to-end win shrinks from
+//!    the all-cold Table II number toward 1× as the warm ratio grows;
+//! 2. adding a pre-warmed pool helps both deployments, and the *combined*
+//!    configuration (pool + SlimStart) is the best of all four — the
+//!    optimizations compose.
+
+use std::sync::Arc;
+
+use slimstart_appmodel::catalog::by_code;
+use slimstart_appmodel::Application;
+use slimstart_bench::seed;
+use slimstart_bench::table::TextTable;
+use slimstart_core::pipeline::{Pipeline, PipelineConfig};
+use slimstart_platform::metrics::AppMetrics;
+use slimstart_platform::platform::{Platform, PlatformConfig};
+use slimstart_simcore::time::SimDuration;
+use slimstart_workload::generator::generate;
+use slimstart_workload::spec::{ArrivalProcess, HandlerMix, WorkloadSpec};
+
+fn run_traffic(
+    app: Arc<Application>,
+    spec: &WorkloadSpec,
+    prewarm: usize,
+    seed: u64,
+) -> AppMetrics {
+    let invs = generate(spec, &app, seed).expect("workload resolves");
+    let mut platform = Platform::new(Arc::clone(&app), PlatformConfig::default(), seed);
+    if prewarm > 0 {
+        let handler = app.handler_by_name("handler").expect("handler");
+        platform.prewarm(prewarm, handler).expect("prewarm");
+    }
+    AppMetrics::aggregate(platform.run(&invs).expect("no faults"))
+}
+
+fn main() {
+    let seed = seed();
+    let entry = by_code("R-GB").expect("graph-bfs");
+    let built = entry.build(seed).expect("builds");
+
+    // Optimize once with the paper's pipeline.
+    let outcome = Pipeline::new(PipelineConfig {
+        cold_starts: 200,
+        seed,
+        ..PipelineConfig::default()
+    })
+    .run(&built.app, &entry.workload_weights())
+    .expect("pipeline runs");
+    let baseline_app = Arc::new(built.app.clone());
+    let optimized_app = Arc::clone(&outcome.final_app);
+
+    println!("== Supplementary: mixed traffic and pre-warming composition (R-GB) ==\n");
+
+    // Sweep arrival rates: sparser traffic → more cold starts.
+    println!("-- Poisson traffic sweep (no pre-warming) --\n");
+    let mut sweep = TextTable::new(vec![
+        "arrivals/min",
+        "cold ratio",
+        "baseline e2e (ms)",
+        "slimstart e2e (ms)",
+        "e2e speedup",
+    ]);
+    for per_min in [0.05f64, 0.2, 1.0, 6.0, 30.0] {
+        let spec = WorkloadSpec {
+            handlers: vec![HandlerMix {
+                name: "handler".into(),
+                weight: 1.0,
+            }],
+            arrival: ArrivalProcess::Poisson {
+                rate_per_sec: per_min / 60.0,
+                duration: SimDuration::from_hours(6),
+            },
+        };
+        let base = run_traffic(Arc::clone(&baseline_app), &spec, 0, seed);
+        let opt = run_traffic(Arc::clone(&optimized_app), &spec, 0, seed);
+        let cold_ratio = base.cold_starts as f64 / base.invocations.max(1) as f64;
+        sweep.row(vec![
+            format!("{per_min}"),
+            format!("{:.1}%", cold_ratio * 100.0),
+            format!("{:.1}", base.mean_e2e_ms),
+            format!("{:.1}", opt.mean_e2e_ms),
+            format!("{:.2}x", base.mean_e2e_ms / opt.mean_e2e_ms),
+        ]);
+    }
+    println!("{}", sweep.render());
+    println!("Sparse traffic is all cold starts (the Table II regime); dense traffic is");
+    println!("mostly warm and the win converges toward 1x — cold starts are the target.\n");
+
+    // Composition with a pre-warmed pool under bursty traffic.
+    println!("-- Composition with a pre-warmed pool (1 request / 8 min, 12 h) --\n");
+    let spec = WorkloadSpec {
+        handlers: vec![HandlerMix {
+            name: "handler".into(),
+            weight: 1.0,
+        }],
+        arrival: ArrivalProcess::Poisson {
+            rate_per_sec: 1.0 / 480.0, // sparse: most requests cold-start
+            duration: SimDuration::from_hours(12),
+        },
+    };
+    let mut combo = TextTable::new(vec!["configuration", "cold ratio", "mean e2e (ms)", "p99 e2e (ms)"]);
+    let configs: [(&str, Arc<Application>, usize); 4] = [
+        ("baseline", Arc::clone(&baseline_app), 0),
+        ("baseline + prewarm(2)", Arc::clone(&baseline_app), 2),
+        ("slimstart", Arc::clone(&optimized_app), 0),
+        ("slimstart + prewarm(2)", Arc::clone(&optimized_app), 2),
+    ];
+    let mut results = Vec::new();
+    for (name, app, pool) in configs {
+        let m = run_traffic(app, &spec, pool, seed);
+        combo.row(vec![
+            name.to_string(),
+            format!(
+                "{:.1}%",
+                m.cold_starts as f64 / m.invocations.max(1) as f64 * 100.0
+            ),
+            format!("{:.1}", m.mean_e2e_ms),
+            format!("{:.1}", m.p99_e2e_ms),
+        ]);
+        results.push((name, m.mean_e2e_ms));
+    }
+    println!("{}", combo.render());
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    println!("best configuration: {}", best.0);
+    println!("An unreplenished pool only absorbs the first burst; SlimStart keeps helping");
+    println!("every recurring cold start — and the combination is never worse than either");
+    println!("alone (paper §VII: application-level work is complementary to runtime work).");
+}

@@ -1,0 +1,83 @@
+//! Table II: summary of performance improvement across the 17 applications
+//! that clear the 10 % initialization-overhead gate.
+//!
+//! For each application: program information (library, type, module counts,
+//! average depth) and the measured initialization / end-to-end speedups,
+//! mean and 99th percentile, side by side with the paper's published
+//! numbers.
+
+use slimstart_appmodel::catalog::catalog;
+use slimstart_bench::table::{times, TextTable};
+use slimstart_bench::{cold_starts, run_catalog_app_averaged, runs, seed};
+
+fn main() {
+    let n = cold_starts();
+    let seed = seed();
+    let runs = runs();
+    println!("== Table II: summary of performance improvement ==");
+    println!("(Init speedup = library loading, the paper's metric; Cold-start = full");
+    println!(" init incl. container provisioning and runtime startup)");
+    println!(
+        "({n} cold starts per run, {runs} run(s) averaged, seed {seed}; paper numbers in parentheses)\n"
+    );
+
+    let mut table = TextTable::new(vec![
+        "App",
+        "Library",
+        "Type",
+        "#libs",
+        "#mods",
+        "depth",
+        "Init speedup",
+        "E2E speedup",
+        "p99 init",
+        "p99 e2e",
+        "Cold-start",
+    ]);
+
+    let mut detected = 0usize;
+    let mut max_init: f64 = 0.0;
+    let mut max_e2e: f64 = 0.0;
+
+    for entry in catalog() {
+        let (run, speedup) = run_catalog_app_averaged(&entry, n, seed, runs);
+        let out = &run.outcome;
+        if !out.report.gate_passed {
+            continue;
+        }
+        detected += 1;
+        max_init = max_init.max(speedup.load);
+        max_e2e = max_e2e.max(speedup.e2e);
+
+        let built = entry.build(seed).expect("builds");
+        table.row(vec![
+            entry.code.to_string(),
+            entry.main_library.to_string(),
+            entry.lib_type.to_string(),
+            entry.n_libs.to_string(),
+            entry.n_modules.to_string(),
+            format!("{:.2}", built.app.avg_module_depth()),
+            format!("{} ({})", times(speedup.load), times(entry.paper.init_speedup)),
+            format!("{} ({})", times(speedup.e2e), times(entry.paper.e2e_speedup)),
+            format!(
+                "{} ({})",
+                times(speedup.p99_load),
+                times(entry.paper.p99_init_speedup)
+            ),
+            format!(
+                "{} ({})",
+                times(speedup.p99_e2e),
+                times(entry.paper.p99_e2e_speedup)
+            ),
+            times(speedup.init),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("inefficiencies detected in {detected}/22 applications (paper: 17/22)");
+    println!(
+        "max init speedup {} (paper 2.30x), max e2e speedup {} (paper 2.26x)",
+        times(max_init),
+        times(max_e2e)
+    );
+}

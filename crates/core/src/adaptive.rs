@@ -1,0 +1,362 @@
+//! The adaptive mechanism for evolving workloads (paper §IV-C, Eqs. 5–7).
+//!
+//! SlimStart tracks per-window invocation probabilities `p_i(t)` of each
+//! handler and re-triggers profiling (and hence re-optimization) when the
+//! aggregate change `Σ_i |Δp_i(t)|` between consecutive windows exceeds the
+//! threshold ε. Stable workloads therefore pay no recurring profiling
+//! overhead; only genuine shifts do.
+
+use slimstart_appmodel::HandlerId;
+use slimstart_simcore::time::SimTime;
+
+use crate::config::AdaptiveConfig;
+
+/// What the monitor decided at a window boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptiveDecision {
+    /// Workload shifted: re-run profiling and optimization.
+    TriggerProfiling {
+        /// The observed `Σ|Δp_i(t)|` that crossed ε.
+        delta: f64,
+    },
+}
+
+/// Statistics for one closed window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Window start time.
+    pub start: SimTime,
+    /// Invocations observed in the window.
+    pub invocations: u64,
+    /// `Σ_i |Δp_i(t)|` against the previous non-empty window.
+    pub delta: f64,
+    /// The effective threshold applied to this window (equals ε unless
+    /// volume-aware thresholding raised it above the noise floor).
+    pub effective_epsilon: f64,
+    /// Whether the trigger fired.
+    pub triggered: bool,
+}
+
+/// Online workload-shift monitor.
+///
+/// # Example
+///
+/// ```
+/// use slimstart_core::adaptive::{AdaptiveDecision, AdaptiveMonitor};
+/// use slimstart_core::config::AdaptiveConfig;
+/// use slimstart_appmodel::HandlerId;
+/// use slimstart_simcore::time::{SimDuration, SimTime};
+///
+/// let cfg = AdaptiveConfig::default(); // 12 h windows, eps = 0.002
+/// let mut monitor = AdaptiveMonitor::new(cfg, 2);
+/// let h = HandlerId::from_index(0);
+/// let admin = HandlerId::from_index(1);
+/// // Window 0: all traffic on handler 0.
+/// for _ in 0..100 {
+///     monitor.record(h, SimTime::ZERO);
+/// }
+/// // Window 1: the mix flips — the trigger fires at the boundary.
+/// for _ in 0..100 {
+///     monitor.record(admin, SimTime::ZERO + SimDuration::from_hours(12));
+/// }
+/// let decision = monitor.flush();
+/// assert!(matches!(decision, Some(AdaptiveDecision::TriggerProfiling { .. })));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveMonitor {
+    config: AdaptiveConfig,
+    counts: Vec<u64>,
+    window_start: SimTime,
+    prev_probs: Option<Vec<f64>>,
+    history: Vec<WindowStats>,
+}
+
+impl AdaptiveMonitor {
+    /// Creates a monitor over `n_handlers` entry points, starting at time
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_handlers` is zero or the configured window is zero.
+    pub fn new(config: AdaptiveConfig, n_handlers: usize) -> Self {
+        assert!(n_handlers > 0, "monitor needs at least one handler");
+        assert!(!config.window.is_zero(), "window must be positive");
+        AdaptiveMonitor {
+            config,
+            counts: vec![0; n_handlers],
+            window_start: SimTime::ZERO,
+            prev_probs: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Records one invocation. Returns a decision when a window boundary is
+    /// crossed *and* the shift threshold is exceeded.
+    ///
+    /// Invocations must arrive in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handler` is out of range or `at` precedes the current
+    /// window.
+    pub fn record(&mut self, handler: HandlerId, at: SimTime) -> Option<AdaptiveDecision> {
+        assert!(
+            at >= self.window_start,
+            "invocations must arrive in time order"
+        );
+        let mut decision = None;
+        while at >= self.window_start + self.config.window {
+            if let Some(d) = self.close_window() {
+                decision = Some(d);
+            }
+        }
+        self.counts[handler.index()] += 1;
+        decision
+    }
+
+    /// Force-closes the current window (e.g. at end of experiment),
+    /// returning a trigger decision if warranted.
+    pub fn flush(&mut self) -> Option<AdaptiveDecision> {
+        self.close_window()
+    }
+
+    fn close_window(&mut self) -> Option<AdaptiveDecision> {
+        let total: u64 = self.counts.iter().sum();
+        let start = self.window_start;
+        self.window_start += self.config.window;
+
+        if total == 0 {
+            // Empty window: no probability estimate; keep the previous one
+            // (profiling an idle app is pointless).
+            self.history.push(WindowStats {
+                start,
+                invocations: 0,
+                delta: 0.0,
+                effective_epsilon: self.config.epsilon,
+                triggered: false,
+            });
+            return None;
+        }
+
+        let probs: Vec<f64> = self
+            .counts
+            .iter()
+            .map(|c| *c as f64 / total as f64)
+            .collect();
+        let delta = match &self.prev_probs {
+            Some(prev) => prev
+                .iter()
+                .zip(&probs)
+                .map(|(a, b)| (a - b).abs())
+                .sum(),
+            None => 0.0,
+        };
+        let effective_epsilon = if self.config.volume_aware {
+            let k = self.counts.len() as f64;
+            let noise_floor = self.config.noise_guard * (k / total as f64).sqrt();
+            self.config.epsilon.max(noise_floor)
+        } else {
+            self.config.epsilon
+        };
+        let triggered = self.prev_probs.is_some() && delta > effective_epsilon;
+        self.prev_probs = Some(probs);
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.history.push(WindowStats {
+            start,
+            invocations: total,
+            delta,
+            effective_epsilon,
+            triggered,
+        });
+        triggered.then_some(AdaptiveDecision::TriggerProfiling { delta })
+    }
+
+    /// All closed windows so far.
+    pub fn history(&self) -> &[WindowStats] {
+        &self.history
+    }
+
+    /// Number of times the trigger fired.
+    pub fn trigger_count(&self) -> usize {
+        self.history.iter().filter(|w| w.triggered).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_simcore::time::SimDuration;
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            window: SimDuration::from_hours(12),
+            epsilon: 0.002,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    fn h(i: usize) -> HandlerId {
+        HandlerId::from_index(i)
+    }
+
+    fn t_hours(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_hours(n)
+    }
+
+    #[test]
+    fn stable_workload_never_triggers() {
+        let mut m = AdaptiveMonitor::new(config(), 2);
+        // Three windows with the identical 80/20 mix.
+        for w in 0..3u64 {
+            for i in 0..100 {
+                let handler = if i % 5 == 0 { h(1) } else { h(0) };
+                assert_eq!(m.record(handler, t_hours(w * 12) + SimDuration::from_mins(i)), None);
+            }
+        }
+        m.flush();
+        assert_eq!(m.trigger_count(), 0);
+        assert_eq!(m.history().len(), 3);
+        assert!(m.history()[2].delta < 0.002);
+    }
+
+    #[test]
+    fn shift_triggers_profiling() {
+        let mut m = AdaptiveMonitor::new(config(), 2);
+        // Window 0: all handler 0.
+        for i in 0..100 {
+            m.record(h(0), t_hours(0) + SimDuration::from_mins(i));
+        }
+        // Window 1: all handler 1 → Δp = 2.0.
+        let mut decision = None;
+        for i in 0..100 {
+            if let Some(d) = m.record(h(1), t_hours(12) + SimDuration::from_mins(i)) {
+                decision = Some(d);
+            }
+        }
+        let d = m.flush();
+        assert_eq!(decision, None); // first window close has no prior probs
+        assert_eq!(
+            d,
+            Some(AdaptiveDecision::TriggerProfiling { delta: 2.0 })
+        );
+        assert_eq!(m.trigger_count(), 1);
+    }
+
+    #[test]
+    fn small_fluctuations_stay_below_epsilon() {
+        let mut m = AdaptiveMonitor::new(config(), 2);
+        // 8000/2000 then 7999/2001 → Δp = 0.0002 < ε.
+        for i in 0..10_000u64 {
+            m.record(if i < 8_000 { h(0) } else { h(1) }, t_hours(0));
+        }
+        let mut trig = None;
+        for i in 0..10_000u64 {
+            if let Some(d) = m.record(if i < 7_999 { h(0) } else { h(1) }, t_hours(12)) {
+                trig = Some(d);
+            }
+        }
+        assert!(trig.is_none());
+        let d = m.flush();
+        assert!(d.is_none(), "Δp below ε must not trigger: {d:?}");
+    }
+
+    #[test]
+    fn empty_windows_are_skipped_gracefully() {
+        let mut m = AdaptiveMonitor::new(config(), 2);
+        for i in 0..10 {
+            m.record(h(0), t_hours(0) + SimDuration::from_mins(i));
+        }
+        // Jump three windows ahead: two empty windows close in between.
+        let d = m.record(h(0), t_hours(48));
+        assert_eq!(d, None);
+        m.flush();
+        let hist = m.history();
+        // [0,12), three empty windows, then the flushed [48,60).
+        assert_eq!(hist.len(), 5);
+        assert_eq!(hist[1].invocations, 0);
+        assert_eq!(hist[2].invocations, 0);
+        assert_eq!(hist[3].invocations, 0);
+        assert!(!hist[1].triggered);
+    }
+
+    #[test]
+    fn shift_after_idle_gap_still_detected() {
+        let mut m = AdaptiveMonitor::new(config(), 2);
+        for _ in 0..100 {
+            m.record(h(0), t_hours(0));
+        }
+        // Idle for two windows, then the mix flips.
+        for _ in 0..100 {
+            m.record(h(1), t_hours(36));
+        }
+        let d = m.flush();
+        assert!(matches!(d, Some(AdaptiveDecision::TriggerProfiling { .. })));
+    }
+
+    #[test]
+    fn volume_aware_threshold_absorbs_low_volume_noise() {
+        let cfg = config().with_volume_awareness();
+        let mut m = AdaptiveMonitor::new(cfg, 2);
+        // 100 requests/window with ±5 % jitter in the mix: delta ~0.1,
+        // below the raised threshold 4*sqrt(2/100) = 0.57.
+        for w in 0..4u64 {
+            let admin_count = 20 + (w % 2) * 5; // 20 or 25 of 100
+            for i in 0..100u64 {
+                let h = if i < admin_count { h(1) } else { h(0) };
+                m.record(h, t_hours(w * 12));
+            }
+        }
+        m.flush();
+        assert_eq!(m.trigger_count(), 0);
+        assert!(m.history().iter().all(|w| w.effective_epsilon >= 0.5));
+    }
+
+    #[test]
+    fn volume_aware_threshold_still_catches_real_shifts() {
+        let cfg = config().with_volume_awareness();
+        let mut m = AdaptiveMonitor::new(cfg, 2);
+        for _ in 0..100 {
+            m.record(h(0), t_hours(0));
+        }
+        for _ in 0..100 {
+            m.record(h(1), t_hours(12));
+        }
+        let d = m.flush();
+        assert!(matches!(d, Some(AdaptiveDecision::TriggerProfiling { .. })));
+    }
+
+    #[test]
+    fn high_volume_windows_keep_paper_epsilon() {
+        let cfg = config().with_volume_awareness();
+        let mut m = AdaptiveMonitor::new(cfg, 2);
+        // 100M requests/window → noise floor 4*sqrt(2/1e8) ≈ 0.00057 < ε.
+        // Simulate by feeding counts directly through many records is too
+        // slow; instead check the arithmetic via a moderate volume where
+        // the floor dips below ε only with an absurd volume — so assert
+        // monotonicity: bigger windows → smaller effective ε.
+        for _ in 0..200 {
+            m.record(h(0), t_hours(0));
+        }
+        for _ in 0..20_000 {
+            m.record(h(0), t_hours(12));
+        }
+        m.record(h(0), t_hours(24));
+        m.flush();
+        let hist = m.history();
+        assert!(hist[1].effective_epsilon < hist[0].effective_epsilon);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_recording_panics() {
+        let mut m = AdaptiveMonitor::new(config(), 1);
+        m.record(h(0), t_hours(13));
+        m.record(h(0), t_hours(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one handler")]
+    fn zero_handlers_rejected() {
+        AdaptiveMonitor::new(config(), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The Calling Context Tree (paper §IV-A2, TC-2).
+//!
+//! Each node is a call site — a frame kind plus the source line it occupies
+//! in its caller — so the same function invoked from different places (the
+//! Lib-6 multi-path problem) occupies *different* nodes and its usage is
+//! never conflated across paths. Sample counts recorded at leaves are
+//! **escalated** bottom-up ([`Cct::inclusive`]), which re-attributes callee
+//! activity to callers along the chain and solves the cascading-dependency
+//! problem: an orchestrator with 1 % self samples still shows the full
+//! weight of the work it coordinates (the Lib-1 problem).
+
+use std::collections::HashMap;
+
+use slimstart_appmodel::Application;
+use slimstart_pyrt::stack::{Frame, FrameKind};
+
+use crate::profile::SampleRecord;
+
+/// Node identity under one parent: the frame and its current line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CctKey {
+    /// The executing frame (function or module init).
+    pub kind: FrameKind,
+    /// The line at which the *caller* sits (for interior nodes) or the
+    /// sampled line (for leaves).
+    pub line: u32,
+}
+
+/// One calling-context node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CctNode {
+    /// Identity.
+    pub key: CctKey,
+    /// Parent node index (`None` for the synthetic root).
+    pub parent: Option<usize>,
+    /// Child node indices.
+    pub children: Vec<usize>,
+    /// Samples whose innermost frame landed here.
+    pub self_samples: u64,
+    /// Of those, samples taken during module initialization.
+    pub self_init_samples: u64,
+}
+
+impl CctNode {
+    /// Runtime (non-init) self samples.
+    pub fn self_runtime_samples(&self) -> u64 {
+        self.self_samples - self.self_init_samples
+    }
+}
+
+/// A calling context tree built from stack samples.
+///
+/// # Example
+///
+/// Escalation re-attributes callee samples to their callers, so a thin
+/// orchestrator frame is credited with the work it coordinates:
+///
+/// ```
+/// use slimstart_core::cct::Cct;
+/// use slimstart_pyrt::stack::{Frame, FrameKind};
+/// use slimstart_appmodel::FunctionId;
+///
+/// let call = |i: usize| Frame { kind: FrameKind::Call(FunctionId::from_index(i)), line: 1 };
+/// let mut cct = Cct::new();
+/// cct.insert(&[call(0)], false);              // 1 sample in the orchestrator itself
+/// for _ in 0..9 {
+///     cct.insert(&[call(0), call(1)], false); // 9 samples in its callee
+/// }
+/// let inclusive = cct.inclusive();
+/// assert_eq!(cct.node(1).self_samples, 1);    // flat view: orchestrator looks idle
+/// assert_eq!(inclusive[1], 10);               // escalated view: fully busy
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cct {
+    nodes: Vec<CctNode>,
+    index: HashMap<(usize, CctKey), usize>,
+}
+
+impl Cct {
+    /// Creates an empty tree with just the synthetic root.
+    pub fn new() -> Self {
+        let root = CctNode {
+            key: CctKey {
+                kind: FrameKind::ModuleInit(slimstart_appmodel::ModuleId::from_index(u32::MAX as usize)),
+                line: 0,
+            },
+            parent: None,
+            children: Vec::new(),
+            self_samples: 0,
+            self_init_samples: 0,
+        };
+        Cct {
+            nodes: vec![root],
+            index: HashMap::new(),
+        }
+    }
+
+    /// Builds a tree from a batch of samples.
+    pub fn from_samples<'a, I>(samples: I) -> Cct
+    where
+        I: IntoIterator<Item = &'a SampleRecord>,
+    {
+        let mut cct = Cct::new();
+        for s in samples {
+            cct.insert(&s.path, s.is_init);
+        }
+        cct
+    }
+
+    /// Inserts one sampled call path, bumping the leaf's self count.
+    pub fn insert(&mut self, path: &[Frame], is_init: bool) {
+        if path.is_empty() {
+            return;
+        }
+        let mut node = 0usize;
+        for frame in path {
+            let key = CctKey {
+                kind: frame.kind,
+                line: frame.line,
+            };
+            node = match self.index.get(&(node, key)) {
+                Some(&child) => child,
+                None => {
+                    let child = self.nodes.len();
+                    self.nodes.push(CctNode {
+                        key,
+                        parent: Some(node),
+                        children: Vec::new(),
+                        self_samples: 0,
+                        self_init_samples: 0,
+                    });
+                    self.nodes[node].children.push(child);
+                    self.index.insert((node, key), child);
+                    child
+                }
+            };
+        }
+        self.nodes[node].self_samples += 1;
+        if is_init {
+            self.nodes[node].self_init_samples += 1;
+        }
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Node accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &CctNode {
+        &self.nodes[i]
+    }
+
+    /// All nodes (index 0 is the synthetic root).
+    pub fn nodes(&self) -> &[CctNode] {
+        &self.nodes
+    }
+
+    /// Total samples recorded.
+    pub fn total_samples(&self) -> u64 {
+        self.nodes.iter().map(|n| n.self_samples).sum()
+    }
+
+    /// **Escalation** (TC-2 solution 1): inclusive sample counts, where each
+    /// node receives its own samples plus everything from its subtree.
+    /// Index-aligned with [`Cct::nodes`].
+    pub fn inclusive(&self) -> Vec<u64> {
+        let mut inclusive: Vec<u64> = self.nodes.iter().map(|n| n.self_samples).collect();
+        // Children always have larger indices than parents (creation order),
+        // so one reverse pass propagates bottom-up.
+        for i in (1..self.nodes.len()).rev() {
+            let parent = self.nodes[i].parent.expect("non-root has parent");
+            inclusive[parent] += inclusive[i];
+        }
+        inclusive
+    }
+
+    /// Inclusive *runtime* (non-init) sample counts.
+    pub fn inclusive_runtime(&self) -> Vec<u64> {
+        let mut inclusive: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(CctNode::self_runtime_samples)
+            .collect();
+        for i in (1..self.nodes.len()).rev() {
+            let parent = self.nodes[i].parent.expect("non-root has parent");
+            inclusive[parent] += inclusive[i];
+        }
+        inclusive
+    }
+
+    /// The path from the root to node `i` (exclusive of the synthetic
+    /// root), outermost first.
+    pub fn path_to(&self, i: usize) -> Vec<&CctNode> {
+        let mut path = Vec::new();
+        let mut cur = Some(i);
+        while let Some(n) = cur {
+            if n == 0 {
+                break;
+            }
+            path.push(&self.nodes[n]);
+            cur = self.nodes[n].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Renders a node's calling context as `file:line → file:line → …`,
+    /// the format of the paper's report tables.
+    pub fn render_path(&self, i: usize, app: &Application) -> String {
+        self.path_to(i)
+            .iter()
+            .map(|n| {
+                let frame = Frame {
+                    kind: n.key.kind,
+                    line: n.key.line,
+                };
+                format!("{}:{}", frame.file(app), n.key.line)
+            })
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Merges another tree into this one (used when combining profiling
+    /// windows).
+    pub fn merge(&mut self, other: &Cct) {
+        // Re-insert other's samples path by path.
+        for (i, node) in other.nodes.iter().enumerate().skip(1) {
+            if node.self_samples == 0 {
+                continue;
+            }
+            let frames: Vec<Frame> = other
+                .path_to(i)
+                .iter()
+                .map(|n| Frame {
+                    kind: n.key.kind,
+                    line: n.key.line,
+                })
+                .collect();
+            let runtime = node.self_samples - node.self_init_samples;
+            for _ in 0..runtime {
+                self.insert(&frames, false);
+            }
+            for _ in 0..node.self_init_samples {
+                self.insert(&frames, true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::{FunctionId, ModuleId};
+
+    fn call(i: usize, line: u32) -> Frame {
+        Frame {
+            kind: FrameKind::Call(FunctionId::from_index(i)),
+            line,
+        }
+    }
+
+    fn init(i: usize, line: u32) -> Frame {
+        Frame {
+            kind: FrameKind::ModuleInit(ModuleId::from_index(i)),
+            line,
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let cct = Cct::new();
+        assert!(cct.is_empty());
+        assert_eq!(cct.len(), 1);
+        assert_eq!(cct.total_samples(), 0);
+    }
+
+    #[test]
+    fn insert_builds_shared_prefixes() {
+        let mut cct = Cct::new();
+        cct.insert(&[call(0, 5), call(1, 6)], false);
+        cct.insert(&[call(0, 5), call(1, 6)], false);
+        cct.insert(&[call(0, 5), call(2, 7)], false);
+        // root + f0 + f1 + f2.
+        assert_eq!(cct.len(), 4);
+        assert_eq!(cct.total_samples(), 3);
+    }
+
+    #[test]
+    fn distinct_call_sites_are_distinct_nodes() {
+        // Same function called from two different lines (the Lib-6
+        // multi-path scenario) must not be conflated.
+        let mut cct = Cct::new();
+        cct.insert(&[call(0, 5), call(9, 6)], false);
+        cct.insert(&[call(0, 5), call(9, 8)], false);
+        assert_eq!(cct.len(), 4); // root + f0 + two f9 nodes
+    }
+
+    #[test]
+    fn escalation_propagates_to_ancestors() {
+        // Orchestrator f0 has 1 self sample; its callees have 99. Inclusive
+        // attribution must credit f0 with all 100 (the Lib-1 problem).
+        let mut cct = Cct::new();
+        cct.insert(&[call(0, 5)], false);
+        for _ in 0..99 {
+            cct.insert(&[call(0, 5), call(1, 6)], false);
+        }
+        let inclusive = cct.inclusive();
+        // Node 1 is f0 (first created after root).
+        assert_eq!(cct.node(1).self_samples, 1);
+        assert_eq!(inclusive[1], 100);
+        assert_eq!(inclusive[0], 100);
+    }
+
+    #[test]
+    fn init_samples_tracked_separately() {
+        let mut cct = Cct::new();
+        cct.insert(&[init(0, 1)], true);
+        cct.insert(&[init(0, 1)], true);
+        cct.insert(&[call(0, 5)], false);
+        assert_eq!(cct.total_samples(), 3);
+        let runtime = cct.inclusive_runtime();
+        assert_eq!(runtime[0], 1);
+        // Node 1 = the init frame: zero runtime samples.
+        assert_eq!(cct.node(1).self_runtime_samples(), 0);
+    }
+
+    #[test]
+    fn path_to_reconstructs_in_order() {
+        let mut cct = Cct::new();
+        cct.insert(&[call(0, 5), call(1, 6), call(2, 7)], false);
+        // Find the leaf (self_samples == 1).
+        let leaf = (0..cct.len())
+            .find(|i| cct.node(*i).self_samples == 1)
+            .unwrap();
+        let path = cct.path_to(leaf);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].key.kind, FrameKind::Call(FunctionId::from_index(0)));
+        assert_eq!(path[2].key.kind, FrameKind::Call(FunctionId::from_index(2)));
+    }
+
+    #[test]
+    fn merge_preserves_counts() {
+        let mut a = Cct::new();
+        a.insert(&[call(0, 5)], false);
+        let mut b = Cct::new();
+        b.insert(&[call(0, 5)], false);
+        b.insert(&[init(1, 1)], true);
+        a.merge(&b);
+        assert_eq!(a.total_samples(), 3);
+        // Shared path merged into one node.
+        assert_eq!(a.len(), 3);
+        let init_node = (1..a.len())
+            .find(|i| a.node(*i).self_init_samples > 0)
+            .unwrap();
+        assert_eq!(a.node(init_node).self_init_samples, 1);
+    }
+
+    #[test]
+    fn from_samples_builds_tree() {
+        let samples = vec![
+            SampleRecord {
+                path: vec![call(0, 5), call(1, 6)],
+                is_init: false,
+            },
+            SampleRecord {
+                path: vec![init(0, 1)],
+                is_init: true,
+            },
+        ];
+        let cct = Cct::from_samples(&samples);
+        assert_eq!(cct.total_samples(), 2);
+    }
+
+    #[test]
+    fn empty_path_is_ignored() {
+        let mut cct = Cct::new();
+        cct.insert(&[], false);
+        assert_eq!(cct.total_samples(), 0);
+    }
+
+    #[test]
+    fn inclusive_conserves_total() {
+        let mut cct = Cct::new();
+        cct.insert(&[call(0, 1), call(1, 2)], false);
+        cct.insert(&[call(0, 1)], false);
+        cct.insert(&[call(2, 3)], true);
+        let inclusive = cct.inclusive();
+        assert_eq!(inclusive[0], cct.total_samples());
+    }
+}

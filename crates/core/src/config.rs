@@ -1,0 +1,129 @@
+//! Configuration knobs with the paper's default values.
+
+use slimstart_simcore::time::SimDuration;
+
+/// Sampling-profiler configuration (paper §IV-A2, TC-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Sampling period (the paper exposes an API to configure the rate).
+    pub period: SimDuration,
+    /// Cost of capturing one stack sample (signal handler + traceback walk).
+    pub per_sample_cost: SimDuration,
+    /// Cost of handing one batch to the asynchronous collector.
+    pub flush_cost: SimDuration,
+    /// Samples per transferred batch.
+    pub batch_size: usize,
+    /// Buffer memory per pending sample, bytes (for memory accounting).
+    pub bytes_per_sample: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            period: SimDuration::from_millis(5),
+            per_sample_cost: SimDuration::from_micros(200),
+            flush_cost: SimDuration::from_millis(2),
+            batch_size: 512,
+            bytes_per_sample: 160,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// Returns a copy with a different sampling period — the overhead /
+    /// accuracy knob swept by the ablation benches.
+    pub fn with_period(mut self, period: SimDuration) -> Self {
+        self.period = period;
+        self
+    }
+}
+
+/// Inefficiency-detector configuration (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Gate: only applications whose library-initialization time exceeds
+    /// this share of end-to-end time are analyzed (paper: 10 %).
+    pub gate_threshold: f64,
+    /// Packages with utilization below this share of runtime samples are
+    /// *rarely used* (paper: 2 %).
+    pub rare_threshold: f64,
+    /// Packages contributing less than this share of initialization time
+    /// are ignored as noise.
+    pub min_init_share: f64,
+    /// Maximum package depth to descend when a parent is hot (library root
+    /// = 1, sub-package = 2 — the paper's granularity). Deeper descent
+    /// flags cold corners whose init may still define names the hot code
+    /// references, so it trades safety margin for coverage.
+    pub max_depth: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            gate_threshold: 0.10,
+            rare_threshold: 0.02,
+            min_init_share: 0.005,
+            max_depth: 2,
+        }
+    }
+}
+
+/// Adaptive-mechanism configuration (paper §IV-C, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Aggregation window Δt (paper: 12 hours).
+    pub window: SimDuration,
+    /// Trigger threshold ε on `Σ|Δp_i(t)|` (paper: 0.002).
+    pub epsilon: f64,
+    /// Volume-aware thresholding: raise the effective ε above the
+    /// estimator's sampling-noise floor for low-volume windows. The paper
+    /// notes that "Δt and ε can be dynamically adjusted based on observed
+    /// workload characteristics"; this is that adjustment. With `N`
+    /// invocations over `k` handlers, the noise floor of `Σ|Δp_i|` under a
+    /// *stable* workload scales as `sqrt(k / N)`; the effective threshold
+    /// becomes `max(ε, noise_guard · sqrt(k / N))`.
+    pub volume_aware: bool,
+    /// Multiplier on the noise floor when `volume_aware` is set.
+    pub noise_guard: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: SimDuration::from_hours(12),
+            epsilon: 0.002,
+            volume_aware: false,
+            noise_guard: 4.0,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Returns a copy with volume-aware thresholding enabled.
+    pub fn with_volume_awareness(mut self) -> Self {
+        self.volume_aware = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let d = DetectorConfig::default();
+        assert_eq!(d.gate_threshold, 0.10);
+        assert_eq!(d.rare_threshold, 0.02);
+        let a = AdaptiveConfig::default();
+        assert_eq!(a.epsilon, 0.002);
+        assert_eq!(a.window, SimDuration::from_hours(12));
+    }
+
+    #[test]
+    fn with_period_overrides() {
+        let s = SamplerConfig::default().with_period(SimDuration::from_millis(20));
+        assert_eq!(s.period, SimDuration::from_millis(20));
+        assert_eq!(s.batch_size, SamplerConfig::default().batch_size);
+    }
+}

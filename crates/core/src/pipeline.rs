@@ -1,0 +1,416 @@
+//! The CI/CD pipeline driver (paper §III, Fig. 4 and §V-b methodology).
+//!
+//! One [`Pipeline::run`] performs the paper's full evaluation cycle for one
+//! application:
+//!
+//! 1. **Baseline** — deploy the unmodified application and measure it under
+//!    the evaluation workload (500 cold starts by default);
+//! 2. **Gate** — applications whose library-initialization share of
+//!    end-to-end time is ≤ 10 % are excluded from optimization;
+//! 3. **Profile** — redeploy with the sampler attached and collect samples
+//!    plus exact init times (the profiled run also yields Fig. 9's overhead
+//!    ratio);
+//! 4. **Analyze** — build the CCT, the hierarchical init breakdown and the
+//!    utilization metric; detect inefficiencies;
+//! 5. **Optimize** — rewrite flagged global imports into deferred imports;
+//! 6. **Redeploy & measure** — run the optimized application and compute
+//!    speedups.
+
+use std::fmt;
+use std::sync::Arc;
+
+use slimstart_appmodel::Application;
+use slimstart_platform::metrics::{AppMetrics, Speedup};
+use slimstart_platform::platform::{Platform, PlatformConfig};
+use slimstart_pyrt::RuntimeFault;
+use slimstart_simcore::time::SimDuration;
+use slimstart_workload::generator::{generate, WorkloadError};
+use slimstart_workload::spec::WorkloadSpec;
+
+use crate::cct::Cct;
+use crate::collector::AsyncCollector;
+use crate::config::{DetectorConfig, SamplerConfig};
+use crate::detect::{detect, InefficiencyReport};
+use crate::initprof::InitBreakdown;
+use crate::optimizer::{optimize, OptimizationOutcome};
+use crate::profile::ProfileStore;
+use crate::sampler::SamplerAttachment;
+use crate::utilization::Utilization;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Platform parameters for every deployment.
+    pub platform: PlatformConfig,
+    /// Profiler parameters for the profiling deployment.
+    pub sampler: SamplerConfig,
+    /// Detector thresholds.
+    pub detector: DetectorConfig,
+    /// Cold starts per measurement run (paper: 500).
+    pub cold_starts: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Ship profile batches over the asynchronous collector channel
+    /// (the paper's production transport, §IV-D) instead of the in-process
+    /// store. Results are identical; the collector also reports wire bytes.
+    pub async_collector: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            platform: PlatformConfig::default(),
+            sampler: SamplerConfig::default(),
+            detector: DetectorConfig::default(),
+            cold_starts: 500,
+            seed: 0xC0FFEE,
+            async_collector: false,
+        }
+    }
+}
+
+/// Errors from a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The workload could not be resolved against the application.
+    Workload(WorkloadError),
+    /// The application faulted (an unsafe optimization would surface here).
+    Fault(RuntimeFault),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Workload(e) => write!(f, "workload error: {e}"),
+            PipelineError::Fault(e) => write!(f, "runtime fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<WorkloadError> for PipelineError {
+    fn from(e: WorkloadError) -> Self {
+        PipelineError::Workload(e)
+    }
+}
+
+impl From<RuntimeFault> for PipelineError {
+    fn from(e: RuntimeFault) -> Self {
+        PipelineError::Fault(e)
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Metrics of the unmodified application.
+    pub baseline: AppMetrics,
+    /// Metrics of the profiled (sampler-attached) run — its e2e inflation
+    /// over the baseline is the profiler overhead (Fig. 9).
+    pub profiled: AppMetrics,
+    /// The detection report.
+    pub report: InefficiencyReport,
+    /// The code transformation, when the gate passed and findings existed.
+    pub optimization: Option<OptimizationOutcome>,
+    /// The application that ended up deployed (optimized, or the original
+    /// when gated out).
+    pub final_app: Arc<Application>,
+    /// Metrics of the final deployment.
+    pub optimized: AppMetrics,
+    /// Speedups of optimized over baseline (Table II row).
+    pub speedup: Speedup,
+    /// The calling-context tree built from the profile.
+    pub cct: Cct,
+}
+
+impl PipelineOutcome {
+    /// Profiler overhead ratio: profiled e2e / baseline e2e (Fig. 9).
+    pub fn profiler_overhead(&self) -> f64 {
+        if self.baseline.mean_e2e_ms == 0.0 {
+            0.0
+        } else {
+            self.profiled.mean_e2e_ms / self.baseline.mean_e2e_ms
+        }
+    }
+
+    /// Whether the application was optimized at all.
+    pub fn optimized_anything(&self) -> bool {
+        self.optimization
+            .as_ref()
+            .is_some_and(|o| !o.edits.is_empty())
+    }
+}
+
+/// The pipeline driver.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full cycle for `app` under the handler `mix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unresolvable workloads or runtime faults.
+    pub fn run(
+        &self,
+        app: &Application,
+        mix: &[(String, f64)],
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let cfg = &self.config;
+        let spec = WorkloadSpec::cold_starts_with_mix(mix, cfg.cold_starts);
+        let invocations = generate(&spec, app, cfg.seed)?;
+
+        // 1. Baseline.
+        let base_app = Arc::new(app.clone());
+        let mut baseline_platform =
+            Platform::new(Arc::clone(&base_app), cfg.platform.clone(), cfg.seed ^ 0x1);
+        let baseline = AppMetrics::aggregate(baseline_platform.run(&invocations)?);
+
+        // 2–3. Profiling deployment. The sampler either writes straight
+        // into the shared store or ships encoded batches to the
+        // asynchronous collector, which drains them off the critical path.
+        let store = ProfileStore::shared();
+        let sampler_cfg = cfg.sampler;
+        let mut collector = if cfg.async_collector {
+            Some(AsyncCollector::start_with_store(Arc::clone(&store)))
+        } else {
+            None
+        };
+        let profiled_cfg = match &collector {
+            Some(c) => {
+                let sender = c.sender();
+                cfg.platform.clone().with_observer_factory(Arc::new(move || {
+                    Box::new(SamplerAttachment::with_transport(
+                        sampler_cfg,
+                        sender.clone(),
+                    ))
+                }))
+            }
+            None => {
+                let store_for_factory = Arc::clone(&store);
+                cfg.platform.clone().with_observer_factory(Arc::new(move || {
+                    Box::new(SamplerAttachment::new(
+                        sampler_cfg,
+                        Arc::clone(&store_for_factory),
+                    ))
+                }))
+            }
+        };
+        let mut profiling_platform =
+            Platform::new(Arc::clone(&base_app), profiled_cfg, cfg.seed ^ 0x2);
+        let profiled_records = profiling_platform.run(&invocations)?.to_vec();
+        if let Some(c) = collector.as_mut() {
+            // Wait until every in-flight batch is decoded into the store.
+            c.finish();
+        }
+        let profiled = AppMetrics::aggregate(&profiled_records);
+        let cold_count = profiled_records.iter().filter(|r| r.cold).count() as u64;
+
+        // 4. Analysis.
+        let store = store.lock();
+        let breakdown = InitBreakdown::from_store(
+            &store,
+            app,
+            cold_count.max(1),
+            SimDuration::from_millis_f64(baseline.mean_e2e_ms),
+        );
+        let utilization = Utilization::from_samples(store.samples.iter(), app);
+        let report = detect(app, &breakdown, &utilization, &cfg.detector);
+        let cct = Cct::from_samples(store.samples.iter());
+        drop(store);
+
+        // 5–6. Optimize and re-measure (or keep the baseline when gated
+        // out / nothing to do).
+        let (optimization, final_app) = if report.gate_passed && !report.findings.is_empty() {
+            let outcome = optimize(app, &report);
+            let new_app = Arc::new(outcome.app.clone());
+            (Some(outcome), new_app)
+        } else {
+            (None, Arc::clone(&base_app))
+        };
+
+        let optimized = if optimization
+            .as_ref()
+            .is_some_and(|o| !o.edits.is_empty())
+        {
+            let mut optimized_platform =
+                Platform::new(Arc::clone(&final_app), cfg.platform.clone(), cfg.seed ^ 0x3);
+            let opt_invocations = generate(&spec, &final_app, cfg.seed)?;
+            AppMetrics::aggregate(optimized_platform.run(&opt_invocations)?)
+        } else {
+            baseline.clone()
+        };
+
+        let speedup = Speedup::between(&baseline, &optimized);
+        Ok(PipelineOutcome {
+            baseline,
+            profiled,
+            report,
+            optimization,
+            final_app,
+            optimized,
+            speedup,
+            cct,
+        })
+    }
+
+    /// Runs the CI/CD loop iteratively: each round profiles the previous
+    /// round's deployment and applies any newly found optimizations,
+    /// stopping at a fixpoint (a round with no code edits) or after
+    /// `max_rounds`. Returns the outcome of every round, in order.
+    ///
+    /// A single round normally converges (the optimizer defers every
+    /// deferrable finding at once); the iterative form matters when
+    /// detector thresholds are tightened between rounds or when deferred
+    /// loads shift utilization enough to expose second-order findings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first round error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds` is zero.
+    pub fn run_iterative(
+        &self,
+        app: &Application,
+        mix: &[(String, f64)],
+        max_rounds: usize,
+    ) -> Result<Vec<PipelineOutcome>, PipelineError> {
+        assert!(max_rounds > 0, "need at least one round");
+        let mut rounds = Vec::new();
+        let mut current: Arc<Application> = Arc::new(app.clone());
+        for _ in 0..max_rounds {
+            let outcome = self.run(&current, mix)?;
+            let changed = outcome.optimized_anything();
+            current = Arc::clone(&outcome.final_app);
+            rounds.push(outcome);
+            if !changed {
+                break;
+            }
+        }
+        Ok(rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::catalog::by_code;
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            cold_starts: 40,
+            platform: PlatformConfig::default().without_jitter(),
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn graph_bfs_end_to_end_speedup() {
+        let entry = by_code("R-GB").unwrap();
+        let built = entry.build(11).unwrap();
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline
+            .run(&built.app, &entry.workload_weights())
+            .unwrap();
+        assert!(out.report.gate_passed);
+        assert!(out.optimized_anything());
+        // Paper reports 1.71× init / 1.66× e2e for R-GB; the platform's
+        // fixed provision+runtime costs dilute it slightly — accept a band.
+        assert!(
+            out.speedup.init > 1.35 && out.speedup.init < 2.1,
+            "init speedup = {:.2}",
+            out.speedup.init
+        );
+        assert!(
+            out.speedup.e2e > 1.3,
+            "e2e speedup = {:.2}",
+            out.speedup.e2e
+        );
+        assert!(out.speedup.mem > 1.0);
+        // The drawing package must be among the deferred ones.
+        let opt = out.optimization.as_ref().unwrap();
+        assert!(opt
+            .deferred_packages
+            .iter()
+            .any(|p| p == "igraph.drawing"));
+    }
+
+    #[test]
+    fn trivial_app_is_gated_out() {
+        let entry = by_code("FWB-FLT").unwrap();
+        let built = entry.build(11).unwrap();
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline
+            .run(&built.app, &entry.workload_weights())
+            .unwrap();
+        assert!(!out.report.gate_passed);
+        assert!(out.optimization.is_none());
+        assert_eq!(out.speedup.e2e, 1.0);
+        assert_eq!(out.speedup.init, 1.0);
+    }
+
+    #[test]
+    fn profiler_overhead_is_bounded() {
+        let entry = by_code("R-GB").unwrap();
+        let built = entry.build(11).unwrap();
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline
+            .run(&built.app, &entry.workload_weights())
+            .unwrap();
+        let ratio = out.profiler_overhead();
+        assert!(ratio > 1.0, "profiling must cost something: {ratio}");
+        assert!(ratio < 1.10, "overhead above 10%: {ratio}");
+    }
+
+    #[test]
+    fn side_effectful_packages_survive_optimization() {
+        let entry = by_code("R-GB").unwrap();
+        let built = entry.build(11).unwrap();
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline
+            .run(&built.app, &entry.workload_weights())
+            .unwrap();
+        let opt = out.optimization.as_ref().unwrap();
+        assert!(opt
+            .skipped
+            .iter()
+            .any(|(p, _)| p == "igraph.plugins"));
+        // The plugins package stays eagerly imported in the final app.
+        let root = out.final_app.module_by_name("igraph").unwrap();
+        let plugins = out.final_app.module_by_name("igraph.plugins").unwrap();
+        let decl = out
+            .final_app
+            .imports_of(root)
+            .iter()
+            .find(|d| d.target == plugins)
+            .unwrap();
+        assert!(decl.mode.is_global());
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let entry = by_code("R-GB").unwrap();
+        let built = entry.build(11).unwrap();
+        let pipeline = Pipeline::new(quick_config());
+        let a = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
+        let b = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
+        assert_eq!(a.speedup, b.speedup);
+        assert_eq!(a.baseline, b.baseline);
+    }
+}

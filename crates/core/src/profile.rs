@@ -1,0 +1,155 @@
+//! Profile data: samples, per-module init observations, and the shared
+//! collector store.
+//!
+//! The paper's profiler buffers samples locally inside the function instance
+//! and batch-transfers them asynchronously to external storage (DynamoDB /
+//! S3), where a background service analyzes them (§IV-D). [`ProfileStore`]
+//! plays the external collector: sampler attachments in every container push
+//! their buffers into one shared store, and the analysis side reads it once
+//! the profiling window closes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use slimstart_appmodel::ModuleId;
+use slimstart_pyrt::stack::Frame;
+use slimstart_simcore::time::SimDuration;
+
+/// One captured stack sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleRecord {
+    /// The call path, outermost frame first.
+    pub path: Vec<Frame>,
+    /// Whether the stack contained a module-init frame (the sample belongs
+    /// to the initialization phase, not runtime — paper §IV-A2).
+    pub is_init: bool,
+}
+
+impl SampleRecord {
+    /// The innermost (sampled) frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty (samples are only taken under live
+    /// frames).
+    pub fn leaf(&self) -> &Frame {
+        self.path.last().expect("sample path is never empty")
+    }
+}
+
+/// The collector: aggregated profiling data for one application deployment.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStore {
+    /// All transferred samples.
+    pub samples: Vec<SampleRecord>,
+    /// Exact per-module initialization time observed, accumulated across
+    /// all cold starts (microseconds).
+    pub init_micros_by_module: HashMap<ModuleId, u64>,
+    /// Number of completed invocations observed.
+    pub invocations: u64,
+    /// Number of batches transferred (each paid the flush cost).
+    pub batches_transferred: u64,
+}
+
+impl ProfileStore {
+    /// Creates an empty store behind the shared handle sampler attachments
+    /// need.
+    pub fn shared() -> Arc<Mutex<ProfileStore>> {
+        Arc::new(Mutex::new(ProfileStore::default()))
+    }
+
+    /// Total observed init time for `module` across all cold starts.
+    pub fn init_time(&self, module: ModuleId) -> SimDuration {
+        SimDuration::from_micros(
+            self.init_micros_by_module
+                .get(&module)
+                .copied()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Number of samples classified as runtime (non-init).
+    pub fn runtime_sample_count(&self) -> u64 {
+        self.samples.iter().filter(|s| !s.is_init).count() as u64
+    }
+
+    /// Number of samples classified as initialization.
+    pub fn init_sample_count(&self) -> u64 {
+        self.samples.iter().filter(|s| s.is_init).count() as u64
+    }
+
+    /// Merges a sampler attachment's local state into the store.
+    pub fn absorb(
+        &mut self,
+        samples: Vec<SampleRecord>,
+        init_micros: &HashMap<ModuleId, u64>,
+        batches: u64,
+    ) {
+        self.samples.extend(samples);
+        for (module, micros) in init_micros {
+            *self.init_micros_by_module.entry(*module).or_insert(0) += micros;
+        }
+        self.batches_transferred += batches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::FunctionId;
+    use slimstart_pyrt::stack::FrameKind;
+
+    fn frame(i: usize) -> Frame {
+        Frame {
+            kind: FrameKind::Call(FunctionId::from_index(i)),
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn leaf_is_innermost() {
+        let s = SampleRecord {
+            path: vec![frame(0), frame(1)],
+            is_init: false,
+        };
+        assert_eq!(s.leaf(), &frame(1));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut store = ProfileStore::default();
+        let mut init = HashMap::new();
+        init.insert(ModuleId::from_index(0), 500u64);
+        store.absorb(
+            vec![SampleRecord {
+                path: vec![frame(0)],
+                is_init: true,
+            }],
+            &init,
+            1,
+        );
+        store.absorb(
+            vec![SampleRecord {
+                path: vec![frame(1)],
+                is_init: false,
+            }],
+            &init,
+            2,
+        );
+        assert_eq!(store.samples.len(), 2);
+        assert_eq!(store.init_time(ModuleId::from_index(0)), SimDuration::from_micros(1_000));
+        assert_eq!(store.init_time(ModuleId::from_index(9)), SimDuration::ZERO);
+        assert_eq!(store.batches_transferred, 3);
+        assert_eq!(store.runtime_sample_count(), 1);
+        assert_eq!(store.init_sample_count(), 1);
+    }
+
+    #[test]
+    fn shared_handle_is_usable_across_clones() {
+        let store = ProfileStore::shared();
+        let clone = Arc::clone(&store);
+        clone.lock().invocations += 1;
+        assert_eq!(store.lock().invocations, 1);
+    }
+}

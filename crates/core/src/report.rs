@@ -1,0 +1,234 @@
+//! Report rendering in the paper's Table IV/V layout.
+//!
+//! A report shows, per package: utilization, initialization-overhead share
+//! and file — followed by the *call path* through which each flagged
+//! package is reached (e.g. `handler.py:2 → nltk/__init__.py:147 →
+//! nltk/sem/__init__.py:44`), reconstructed over the application's global
+//! import chains.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use slimstart_appmodel::{Application, ModuleId};
+
+use crate::detect::InefficiencyReport;
+
+/// Reconstructs the import chain from `from` to the root module of
+/// `package`, as `(file, line)` hops. Returns `None` when the package is
+/// not reachable over global imports.
+pub fn import_path(
+    app: &Application,
+    from: ModuleId,
+    package: &str,
+) -> Option<Vec<(String, u32)>> {
+    // BFS over global import edges, remembering the (importer, line) that
+    // discovered each module.
+    let mut prev: HashMap<ModuleId, (ModuleId, u32)> = HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    let mut goal: Option<ModuleId> = None;
+    let mut seen = vec![false; app.modules().len()];
+    seen[from.index()] = true;
+    while let Some(m) = queue.pop_front() {
+        if app.module(m).in_package(package) {
+            goal = Some(m);
+            break;
+        }
+        for decl in app.imports_of(m) {
+            if seen[decl.target.index()] {
+                continue;
+            }
+            seen[decl.target.index()] = true;
+            prev.insert(decl.target, (m, decl.line));
+            queue.push_back(decl.target);
+        }
+    }
+    let goal = goal?;
+    // Walk back to `from`, collecting hops.
+    let mut hops = Vec::new();
+    let mut cur = goal;
+    let goal_file = app.module(goal).file().to_string();
+    while let Some(&(importer, line)) = prev.get(&cur) {
+        hops.push((app.module(importer).file().to_string(), line));
+        cur = importer;
+    }
+    hops.reverse();
+    // Final hop: the package root file itself (entry line 1 by convention).
+    hops.push((goal_file, 1));
+    Some(hops)
+}
+
+/// Renders the full report as text.
+pub fn render(report: &InefficiencyReport, app: &Application) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "==================== SLIMSTART Summary ====================");
+    let _ = writeln!(out, "Application: {}", report.app_name);
+    let _ = writeln!(
+        out,
+        "Gate: {} (library initialization = {:.1}% of end-to-end, threshold 10%)",
+        if report.gate_passed { "PASSED" } else { "SKIPPED" },
+        report.init_share * 100.0
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>8} {:>16}  File",
+        "Package", "Util.%", "Init.Overhead%"
+    );
+    for lib in &report.libraries {
+        let root = app.module_by_name(&lib.name);
+        let file = root.map_or(String::new(), |m| format!("/{}", app.module(m).file()));
+        let _ = writeln!(
+            out,
+            "- {:<28} {:>8.2} {:>16.2}  {}",
+            lib.name,
+            lib.utilization * 100.0,
+            lib.init_fraction * 100.0,
+            file
+        );
+    }
+    for f in &report.findings {
+        let root = app.module_by_name(&f.package);
+        let file = root.map_or(String::new(), |m| format!("/{}", app.module(m).file()));
+        let _ = writeln!(
+            out,
+            "+ {:<28} {:>8.2} {:>16.2}  {}{}",
+            f.package,
+            f.utilization * 100.0,
+            f.init_fraction * 100.0,
+            file,
+            if f.deferrable { "" } else { "  [kept: side effects]" }
+        );
+    }
+
+    if !report.findings.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  Call Path");
+        let entry = app.handler_module(slimstart_appmodel::HandlerId::from_index(0));
+        for f in &report.findings {
+            let _ = writeln!(out, "  Package: {}", f.package);
+            match import_path(app, entry, &f.package) {
+                Some(hops) => {
+                    for (i, (file, line)) in hops.iter().enumerate() {
+                        let arrow = if i == 0 { "    " } else { "    -> " };
+                        let _ = writeln!(out, "{arrow}{file}:{line}");
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "    (not reachable via global imports)");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::app::AppBuilder;
+    use slimstart_appmodel::{ImportMode, LibraryId};
+    use slimstart_simcore::time::SimDuration;
+
+    use crate::detect::{Finding, LibrarySummary, UsageClass};
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    fn app() -> Application {
+        let mut b = AppBuilder::new("rsa");
+        let lib = b.add_library("nltk");
+        let h = b.add_app_module("handler", ms(1), 0);
+        let root = b.add_library_module("nltk", ms(2), 0, false, lib);
+        let sem = b.add_library_module("nltk.sem", ms(40), 0, false, lib);
+        b.add_import(h, root, 2, ImportMode::Global).unwrap();
+        b.add_import(root, sem, 147, ImportMode::Global).unwrap();
+        let f = b.add_function("main", h, 4, vec![]);
+        b.add_handler("main", f);
+        b.finish().unwrap()
+    }
+
+    fn sample_report() -> InefficiencyReport {
+        InefficiencyReport {
+            app_name: "rsa".into(),
+            gate_passed: true,
+            total_init: ms(43),
+            e2e_mean: ms(45),
+            init_share: 0.956,
+            libraries: vec![LibrarySummary {
+                library: LibraryId::from_index(0),
+                name: "nltk".into(),
+                utilization: 0.0533,
+                init_fraction: 0.6993,
+                init_time: ms(42),
+            }],
+            findings: vec![Finding {
+                package: "nltk.sem".into(),
+                library: LibraryId::from_index(0),
+                class: UsageClass::Unused,
+                utilization: 0.0,
+                init_time: ms(40),
+                init_fraction: 0.0825,
+                deferrable: true,
+                skip_reason: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn import_path_reconstructs_chain() {
+        let app = app();
+        let h = app.module_by_name("handler").unwrap();
+        let hops = import_path(&app, h, "nltk.sem").unwrap();
+        assert_eq!(
+            hops,
+            vec![
+                ("handler.py".to_string(), 2),
+                ("nltk/__init__.py".to_string(), 147),
+                ("nltk/sem.py".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn import_path_none_when_unreachable() {
+        let app = app();
+        let h = app.module_by_name("handler").unwrap();
+        assert!(import_path(&app, h, "numpy").is_none());
+    }
+
+    #[test]
+    fn render_contains_table_and_call_path() {
+        let app = app();
+        let text = render(&sample_report(), &app);
+        assert!(text.contains("Application: rsa"));
+        assert!(text.contains("Gate: PASSED"));
+        assert!(text.contains("nltk"));
+        assert!(text.contains("5.33"));
+        assert!(text.contains("69.93"));
+        assert!(text.contains("+ nltk.sem"));
+        assert!(text.contains("handler.py:2"));
+        assert!(text.contains("-> nltk/__init__.py:147"));
+    }
+
+    #[test]
+    fn render_marks_undeferrable_findings() {
+        let app = app();
+        let mut report = sample_report();
+        report.findings[0].deferrable = false;
+        report.findings[0].skip_reason = Some(crate::detect::SkipReason::SideEffects);
+        let text = render(&report, &app);
+        assert!(text.contains("[kept: side effects]"));
+    }
+
+    #[test]
+    fn render_gated_out_report() {
+        let app = app();
+        let mut report = sample_report();
+        report.gate_passed = false;
+        report.findings.clear();
+        let text = render(&report, &app);
+        assert!(text.contains("Gate: SKIPPED"));
+        assert!(!text.contains("Call Path"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Container lifecycle: the unit of warmth.
+//!
+//! A container owns one [`Process`] (whose module cache is what makes warm
+//! starts fast) and tracks when it last served a request, which drives
+//! keep-alive reclamation.
+
+use std::sync::Arc;
+
+use slimstart_appmodel::Application;
+use slimstart_pyrt::process::Process;
+use slimstart_simcore::time::{SimDuration, SimTime};
+
+/// A provisioned container holding a live runtime process.
+pub struct Container {
+    id: usize,
+    process: Process,
+    /// The container is serving a request until this instant.
+    busy_until: SimTime,
+    /// When the container last finished serving (for keep-alive).
+    last_used: SimTime,
+}
+
+impl std::fmt::Debug for Container {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Container")
+            .field("id", &self.id)
+            .field("busy_until", &self.busy_until)
+            .field("last_used", &self.last_used)
+            .finish()
+    }
+}
+
+impl Container {
+    /// Creates a container around a fresh process.
+    pub fn new(id: usize, app: Arc<Application>, time_scale: f64, provisioned_at: SimTime) -> Self {
+        Container {
+            id,
+            process: Process::new(app, time_scale),
+            busy_until: provisioned_at,
+            last_used: provisioned_at,
+        }
+    }
+
+    /// The container's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The runtime process (loader state, clock, memory).
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Mutable access to the runtime process.
+    pub fn process_mut(&mut self) -> &mut Process {
+        &mut self.process
+    }
+
+    /// Whether the container is idle (not serving) at `now`.
+    pub fn idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Whether the keep-alive window has lapsed at `now`, making the
+    /// container eligible for reclamation.
+    pub fn expired_at(&self, now: SimTime, keep_alive: SimDuration) -> bool {
+        self.idle_at(now) && now.saturating_since(self.last_used) > keep_alive
+    }
+
+    /// Marks the container busy for `[start, start + duration)`.
+    pub fn occupy(&mut self, start: SimTime, duration: SimDuration) {
+        self.busy_until = start + duration;
+        self.last_used = self.busy_until;
+    }
+
+    /// The instant the container becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::app::AppBuilder;
+
+    fn app() -> Arc<Application> {
+        let mut b = AppBuilder::new("t");
+        let m = b.add_app_module("handler", SimDuration::ZERO, 0);
+        let f = b.add_function("main", m, 1, vec![]);
+        b.add_handler("h", f);
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn idle_and_occupy() {
+        let mut c = Container::new(0, app(), 1.0, SimTime::ZERO);
+        assert!(c.idle_at(SimTime::ZERO));
+        c.occupy(SimTime::from_millis(10), SimDuration::from_millis(5));
+        assert!(!c.idle_at(SimTime::from_millis(12)));
+        assert!(c.idle_at(SimTime::from_millis(15)));
+        assert_eq!(c.busy_until(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn keep_alive_expiry() {
+        let mut c = Container::new(1, app(), 1.0, SimTime::ZERO);
+        c.occupy(SimTime::ZERO, SimDuration::from_millis(10));
+        let ka = SimDuration::from_secs(60);
+        assert!(!c.expired_at(SimTime::from_millis(20), ka));
+        assert!(!c.expired_at(SimTime::from_secs(60), ka));
+        assert!(c.expired_at(SimTime::from_secs(61), ka));
+        // A busy container is never expired.
+        c.occupy(SimTime::from_secs(100), SimDuration::from_secs(120));
+        assert!(!c.expired_at(SimTime::from_secs(130), ka));
+    }
+}

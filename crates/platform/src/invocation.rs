@@ -1,0 +1,98 @@
+//! Invocations and their per-request records.
+
+use slimstart_appmodel::HandlerId;
+use slimstart_simcore::time::{SimDuration, SimTime};
+
+/// One request arriving at the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Which entry point the request targets.
+    pub handler: HandlerId,
+    /// Seed for the request's data-dependent branches (payload identity).
+    pub seed: u64,
+}
+
+/// The measured outcome of one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationRecord {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Which entry point ran.
+    pub handler: HandlerId,
+    /// Whether this request cold-started a container.
+    pub cold: bool,
+    /// Time queued waiting for capacity (zero unless the container cap bit).
+    pub wait_time: SimDuration,
+    /// Container provisioning time (cold only).
+    pub provision_time: SimDuration,
+    /// Language-runtime startup time (cold only).
+    pub runtime_startup_time: SimDuration,
+    /// Library/module loading time (cold only) — the paper's optimization
+    /// target.
+    pub load_time: SimDuration,
+    /// Total initialization latency: provision + runtime startup + loading.
+    pub init_latency: SimDuration,
+    /// Handler execution latency (includes deferred first-use loads).
+    pub exec_latency: SimDuration,
+    /// End-to-end latency: wait + init + exec.
+    pub e2e_latency: SimDuration,
+    /// Portion of `exec_latency` spent in deferred module loading.
+    pub deferred_load_time: SimDuration,
+    /// Peak resident memory of the serving container, KiB (runtime base +
+    /// loaded modules + profiler buffers).
+    pub peak_mem_kb: u64,
+    /// Index of the container that served the request.
+    pub container: usize,
+}
+
+impl InvocationRecord {
+    /// Initialization latency in fractional milliseconds.
+    pub fn init_ms(&self) -> f64 {
+        self.init_latency.as_millis_f64()
+    }
+
+    /// End-to-end latency in fractional milliseconds.
+    pub fn e2e_ms(&self) -> f64 {
+        self.e2e_latency.as_millis_f64()
+    }
+
+    /// Execution latency in fractional milliseconds.
+    pub fn exec_ms(&self) -> f64 {
+        self.exec_latency.as_millis_f64()
+    }
+
+    /// Peak memory in MB.
+    pub fn peak_mem_mb(&self) -> f64 {
+        self.peak_mem_kb as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let r = InvocationRecord {
+            at: SimTime::ZERO,
+            handler: HandlerId::from_index(0),
+            cold: true,
+            wait_time: SimDuration::ZERO,
+            provision_time: SimDuration::from_millis(100),
+            runtime_startup_time: SimDuration::from_millis(50),
+            load_time: SimDuration::from_millis(350),
+            init_latency: SimDuration::from_millis(500),
+            exec_latency: SimDuration::from_millis(250),
+            e2e_latency: SimDuration::from_millis(750),
+            deferred_load_time: SimDuration::ZERO,
+            peak_mem_kb: 2048,
+            container: 0,
+        };
+        assert_eq!(r.init_ms(), 500.0);
+        assert_eq!(r.e2e_ms(), 750.0);
+        assert_eq!(r.exec_ms(), 250.0);
+        assert_eq!(r.peak_mem_mb(), 2.0);
+    }
+}

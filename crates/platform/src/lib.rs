@@ -1,0 +1,40 @@
+//! # slimstart-platform
+//!
+//! A discrete-event serverless platform simulator: the AWS-Lambda stand-in
+//! the evaluation runs on.
+//!
+//! The platform routes an invocation stream to containers. An invocation
+//! that finds no warm container **cold-starts** one: container provisioning,
+//! then language-runtime startup, then the application's library loading
+//! (performed by a fresh [`Process`](slimstart_pyrt::process::Process)).
+//! Containers that sit idle past the keep-alive window are reclaimed, which
+//! is what makes cold starts recur. Per-invocation records capture
+//! initialization, execution and end-to-end latency plus peak memory — the
+//! metrics of the paper's Tables II/III and Figs. 1, 8 and 9.
+//!
+//! # Example
+//!
+//! ```
+//! use slimstart_platform::{Platform, PlatformConfig};
+//! use slimstart_platform::invocation::Invocation;
+//! use slimstart_appmodel::catalog::by_code;
+//! use slimstart_simcore::time::SimTime;
+//! use std::sync::Arc;
+//!
+//! let built = by_code("R-GB").expect("catalog entry").build(7)?;
+//! let app = Arc::new(built.app);
+//! let handler = app.handler_by_name("handler").expect("handler");
+//! let mut platform = Platform::new(app, PlatformConfig::default(), 42);
+//! let records = platform.run(&[Invocation { at: SimTime::ZERO, handler, seed: 1 }])?;
+//! assert!(records[0].cold);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod container;
+pub mod invocation;
+pub mod metrics;
+pub mod platform;
+
+pub use invocation::{Invocation, InvocationRecord};
+pub use metrics::AppMetrics;
+pub use platform::{ObserverFactory, Platform, PlatformConfig};

@@ -1,0 +1,199 @@
+//! Metric aggregation: the evaluation's reporting layer.
+//!
+//! Produces the quantities the paper reports per application: mean and
+//! 99th-percentile initialization / end-to-end latency (cold starts), peak
+//! memory, and speedup ratios between a baseline and an optimized run.
+
+use slimstart_simcore::stats::Percentiles;
+
+use crate::invocation::InvocationRecord;
+
+/// Aggregated metrics over a batch of invocation records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppMetrics {
+    /// Total invocations.
+    pub invocations: usize,
+    /// Number of cold starts.
+    pub cold_starts: usize,
+    /// Mean initialization latency over cold starts, ms.
+    pub mean_init_ms: f64,
+    /// 99th-percentile initialization latency over cold starts, ms.
+    pub p99_init_ms: f64,
+    /// Mean library-loading time over cold starts, ms (init minus platform
+    /// overheads — the paper's "library initialization" of Fig. 1).
+    pub mean_load_ms: f64,
+    /// 99th-percentile library-loading time over cold starts, ms.
+    pub p99_load_ms: f64,
+    /// Mean execution latency, ms.
+    pub mean_exec_ms: f64,
+    /// Mean end-to-end latency, ms.
+    pub mean_e2e_ms: f64,
+    /// 99th-percentile end-to-end latency, ms.
+    pub p99_e2e_ms: f64,
+    /// Peak memory across all containers, MB.
+    pub peak_mem_mb: f64,
+    /// Mean per-invocation peak memory, MB.
+    pub mean_mem_mb: f64,
+}
+
+impl AppMetrics {
+    /// Aggregates a batch of records.
+    ///
+    /// Initialization statistics are computed over cold starts only (warm
+    /// starts have no init phase); execution/end-to-end over all records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn aggregate(records: &[InvocationRecord]) -> AppMetrics {
+        assert!(!records.is_empty(), "AppMetrics::aggregate: no records");
+        let cold: Vec<&InvocationRecord> = records.iter().filter(|r| r.cold).collect();
+        let init: Percentiles = cold.iter().map(|r| r.init_ms()).collect();
+        let load: Percentiles = cold.iter().map(|r| r.load_time.as_millis_f64()).collect();
+        let exec: Percentiles = records.iter().map(|r| r.exec_ms()).collect();
+        let e2e: Percentiles = records.iter().map(|r| r.e2e_ms()).collect();
+        let mem: Percentiles = records.iter().map(|r| r.peak_mem_mb()).collect();
+        AppMetrics {
+            invocations: records.len(),
+            cold_starts: cold.len(),
+            mean_init_ms: init.mean().unwrap_or(0.0),
+            p99_init_ms: init.p99().unwrap_or(0.0),
+            mean_load_ms: load.mean().unwrap_or(0.0),
+            p99_load_ms: load.p99().unwrap_or(0.0),
+            mean_exec_ms: exec.mean().unwrap_or(0.0),
+            mean_e2e_ms: e2e.mean().unwrap_or(0.0),
+            p99_e2e_ms: e2e.p99().unwrap_or(0.0),
+            peak_mem_mb: mem
+                .values()
+                .iter()
+                .copied()
+                .fold(0.0_f64, f64::max),
+            mean_mem_mb: mem.mean().unwrap_or(0.0),
+        }
+    }
+
+    /// Ratio of library-loading time to end-to-end time (Fig. 1's metric).
+    pub fn init_ratio(&self) -> f64 {
+        if self.mean_e2e_ms == 0.0 {
+            0.0
+        } else {
+            self.mean_load_ms / self.mean_e2e_ms
+        }
+    }
+}
+
+/// Speedups of `optimized` relative to `baseline` (paper Table II columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speedup {
+    /// Mean initialization speedup (×), over the full cold-start init
+    /// (provisioning + runtime startup + library loading).
+    pub init: f64,
+    /// Mean library-loading speedup (×) — the paper's "initialization
+    /// speedup", since its measurements attribute init latency to library
+    /// loading.
+    pub load: f64,
+    /// Mean end-to-end speedup (×).
+    pub e2e: f64,
+    /// 99th-percentile initialization speedup (×).
+    pub p99_init: f64,
+    /// 99th-percentile library-loading speedup (×).
+    pub p99_load: f64,
+    /// 99th-percentile end-to-end speedup (×).
+    pub p99_e2e: f64,
+    /// Peak-memory reduction (×).
+    pub mem: f64,
+}
+
+impl Speedup {
+    /// Computes speedups between two metric sets.
+    pub fn between(baseline: &AppMetrics, optimized: &AppMetrics) -> Speedup {
+        fn ratio(before: f64, after: f64) -> f64 {
+            if after <= 0.0 {
+                0.0
+            } else {
+                before / after
+            }
+        }
+        Speedup {
+            init: ratio(baseline.mean_init_ms, optimized.mean_init_ms),
+            load: ratio(baseline.mean_load_ms, optimized.mean_load_ms),
+            e2e: ratio(baseline.mean_e2e_ms, optimized.mean_e2e_ms),
+            p99_init: ratio(baseline.p99_init_ms, optimized.p99_init_ms),
+            p99_load: ratio(baseline.p99_load_ms, optimized.p99_load_ms),
+            p99_e2e: ratio(baseline.p99_e2e_ms, optimized.p99_e2e_ms),
+            mem: ratio(baseline.peak_mem_mb, optimized.peak_mem_mb),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::HandlerId;
+    use slimstart_simcore::time::{SimDuration, SimTime};
+
+    fn rec(cold: bool, init_ms: u64, exec_ms: u64, mem_kb: u64) -> InvocationRecord {
+        InvocationRecord {
+            at: SimTime::ZERO,
+            handler: HandlerId::from_index(0),
+            cold,
+            wait_time: SimDuration::ZERO,
+            provision_time: SimDuration::ZERO,
+            runtime_startup_time: SimDuration::ZERO,
+            load_time: SimDuration::from_millis(init_ms),
+            init_latency: SimDuration::from_millis(init_ms),
+            exec_latency: SimDuration::from_millis(exec_ms),
+            e2e_latency: SimDuration::from_millis(init_ms + exec_ms),
+            deferred_load_time: SimDuration::ZERO,
+            peak_mem_kb: mem_kb,
+            container: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_cold_and_all() {
+        let records = vec![
+            rec(true, 100, 10, 2048),
+            rec(false, 0, 10, 2048),
+            rec(true, 200, 10, 4096),
+        ];
+        let m = AppMetrics::aggregate(&records);
+        assert_eq!(m.invocations, 3);
+        assert_eq!(m.cold_starts, 2);
+        assert!((m.mean_init_ms - 150.0).abs() < 1e-9);
+        assert!((m.p99_init_ms - 200.0).abs() < 1e-9);
+        assert!((m.mean_exec_ms - 10.0).abs() < 1e-9);
+        assert!((m.mean_e2e_ms - (110.0 + 10.0 + 210.0) / 3.0).abs() < 1e-9);
+        assert!((m.peak_mem_mb - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn init_ratio() {
+        let m = AppMetrics::aggregate(&[rec(true, 80, 20, 1024)]);
+        assert!((m.init_ratio() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_only_batch_has_zero_init() {
+        let m = AppMetrics::aggregate(&[rec(false, 0, 25, 1024)]);
+        assert_eq!(m.cold_starts, 0);
+        assert_eq!(m.mean_init_ms, 0.0);
+        assert_eq!(m.p99_init_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no records")]
+    fn empty_batch_panics() {
+        AppMetrics::aggregate(&[]);
+    }
+
+    #[test]
+    fn speedup_between() {
+        let base = AppMetrics::aggregate(&[rec(true, 200, 100, 4096)]);
+        let opt = AppMetrics::aggregate(&[rec(true, 100, 100, 2048)]);
+        let s = Speedup::between(&base, &opt);
+        assert!((s.init - 2.0).abs() < 1e-9);
+        assert!((s.e2e - 1.5).abs() < 1e-9);
+        assert!((s.mem - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,532 @@
+//! The platform: routes invocations, cold-starts containers, records
+//! metrics.
+
+use std::sync::Arc;
+
+use slimstart_appmodel::Application;
+use slimstart_pyrt::observer::ExecutionObserver;
+use slimstart_pyrt::RuntimeFault;
+use slimstart_simcore::rng::SimRng;
+use slimstart_simcore::time::{SimDuration, SimTime};
+
+use crate::container::Container;
+use crate::invocation::{Invocation, InvocationRecord};
+
+/// Builds a fresh observer (profiler attachment) for each new container.
+pub type ObserverFactory = Arc<dyn Fn() -> Box<dyn ExecutionObserver> + Send + Sync>;
+
+/// Platform configuration, with AWS-Lambda-like defaults.
+#[derive(Clone)]
+pub struct PlatformConfig {
+    /// Container provisioning cost (scheduling + sandbox creation).
+    pub provision_cost: SimDuration,
+    /// Language-runtime startup cost (interpreter boot before user code).
+    pub runtime_startup_cost: SimDuration,
+    /// Idle window after which containers are reclaimed.
+    pub keep_alive: SimDuration,
+    /// Resident memory of an empty runtime, KiB.
+    pub container_base_mem_kb: u64,
+    /// Log-normal sigma of per-container speed jitter (0 = no jitter).
+    pub jitter_sigma: f64,
+    /// Maximum simultaneously provisioned containers.
+    pub max_containers: usize,
+    /// Profiler attachment installed into every new container, if any.
+    pub observer_factory: Option<ObserverFactory>,
+}
+
+impl std::fmt::Debug for PlatformConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformConfig")
+            .field("provision_cost", &self.provision_cost)
+            .field("runtime_startup_cost", &self.runtime_startup_cost)
+            .field("keep_alive", &self.keep_alive)
+            .field("container_base_mem_kb", &self.container_base_mem_kb)
+            .field("jitter_sigma", &self.jitter_sigma)
+            .field("max_containers", &self.max_containers)
+            .field("observed", &self.observer_factory.is_some())
+            .finish()
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            provision_cost: SimDuration::from_millis(45),
+            runtime_startup_cost: SimDuration::from_millis(35),
+            keep_alive: SimDuration::from_mins(10),
+            container_base_mem_kb: 35 * 1024,
+            jitter_sigma: 0.04,
+            max_containers: 1_000,
+            observer_factory: None,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Returns a copy with the given profiler attachment factory.
+    pub fn with_observer_factory(mut self, factory: ObserverFactory) -> Self {
+        self.observer_factory = Some(factory);
+        self
+    }
+
+    /// Returns a copy without speed jitter (for exact-arithmetic tests).
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter_sigma = 0.0;
+        self
+    }
+}
+
+/// The serverless platform serving one application deployment.
+pub struct Platform {
+    app: Arc<Application>,
+    config: PlatformConfig,
+    containers: Vec<Container>,
+    next_container_id: usize,
+    rng: SimRng,
+    records: Vec<InvocationRecord>,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("app", &self.app.name())
+            .field("containers", &self.containers.len())
+            .field("records", &self.records.len())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Creates a platform serving `app` with the given config and RNG seed.
+    pub fn new(app: Arc<Application>, config: PlatformConfig, seed: u64) -> Self {
+        Platform {
+            app,
+            config,
+            containers: Vec::new(),
+            next_container_id: 0,
+            rng: SimRng::seed_from(seed),
+            records: Vec::new(),
+        }
+    }
+
+    /// The deployed application.
+    pub fn app(&self) -> &Arc<Application> {
+        &self.app
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[InvocationRecord] {
+        &self.records
+    }
+
+    /// Number of currently provisioned containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Pre-provisions `count` warm containers at time zero, each cold-started
+    /// for `handler`'s module graph — the platform-level mitigation
+    /// (pre-warmed instances, provisioned concurrency) the paper's related
+    /// work discusses. SlimStart's application-level optimization composes
+    /// with it: a slimmer package also warms up faster and cheaper.
+    ///
+    /// The pool is not replenished: once keep-alive reclaims an idle
+    /// pre-warmed container it is gone, like an expired provisioned burst.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`RuntimeFault`] raised during warm-up.
+    pub fn prewarm(
+        &mut self,
+        count: usize,
+        handler: slimstart_appmodel::HandlerId,
+    ) -> Result<(), RuntimeFault> {
+        let root = self.app.handler_module(handler);
+        for _ in 0..count {
+            let time_scale = self.sample_time_scale();
+            let id = self.next_container_id;
+            self.next_container_id += 1;
+            let mut container =
+                Container::new(id, Arc::clone(&self.app), time_scale, SimTime::ZERO);
+            if let Some(factory) = &self.config.observer_factory {
+                container.process_mut().attach_observer(factory());
+            }
+            let provision = self.config.provision_cost.mul_f64(time_scale);
+            let runtime_startup = self.config.runtime_startup_cost.mul_f64(time_scale);
+            let load = container.process_mut().cold_start(root)?;
+            // The container is busy until its warm-up completes.
+            container.occupy(SimTime::ZERO, provision + runtime_startup + load);
+            self.containers.push(container);
+        }
+        Ok(())
+    }
+
+    /// Serves a batch of invocations (must be sorted by arrival time) and
+    /// returns the records for this batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeFault`] raised by the application —
+    /// faults indicate an unsafe optimization, so the run is aborted rather
+    /// than papered over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `invocations` is not sorted by arrival time.
+    pub fn run(&mut self, invocations: &[Invocation]) -> Result<&[InvocationRecord], RuntimeFault> {
+        let first_new = self.records.len();
+        let mut prev = SimTime::ZERO;
+        for inv in invocations {
+            assert!(inv.at >= prev, "invocations must be sorted by arrival time");
+            prev = inv.at;
+            let record = self.dispatch(*inv)?;
+            self.records.push(record);
+        }
+        Ok(&self.records[first_new..])
+    }
+
+    fn dispatch(&mut self, inv: Invocation) -> Result<InvocationRecord, RuntimeFault> {
+        let now = inv.at;
+        // Reclaim expired containers first (keep-alive policy).
+        let keep_alive = self.config.keep_alive;
+        self.containers
+            .retain(|c| !c.expired_at(now, keep_alive));
+
+        // Prefer the warm container that has been idle the longest.
+        let warm = self
+            .containers
+            .iter_mut()
+            .filter(|c| c.idle_at(now))
+            .min_by_key(|c| c.busy_until())
+            .map(|c| c.id());
+
+        match warm {
+            Some(id) => self.dispatch_warm(inv, id),
+            None => {
+                if self.containers.len() >= self.config.max_containers {
+                    self.dispatch_queued(inv)
+                } else {
+                    self.dispatch_cold(inv, SimDuration::ZERO)
+                }
+            }
+        }
+    }
+
+    fn dispatch_warm(
+        &mut self,
+        inv: Invocation,
+        container_id: usize,
+    ) -> Result<InvocationRecord, RuntimeFault> {
+        let container = self
+            .containers
+            .iter_mut()
+            .find(|c| c.id() == container_id)
+            .expect("warm container exists");
+        let mut inv_rng = SimRng::seed_from(inv.seed);
+        let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
+        container.occupy(inv.at, outcome.exec_time);
+        let base = self.config.container_base_mem_kb;
+        Ok(InvocationRecord {
+            at: inv.at,
+            handler: inv.handler,
+            cold: false,
+            wait_time: SimDuration::ZERO,
+            provision_time: SimDuration::ZERO,
+            runtime_startup_time: SimDuration::ZERO,
+            load_time: SimDuration::ZERO,
+            init_latency: SimDuration::ZERO,
+            exec_latency: outcome.exec_time,
+            e2e_latency: outcome.exec_time,
+            deferred_load_time: outcome.deferred_load_time,
+            peak_mem_kb: outcome.peak_mem_kb + base,
+            container: container_id,
+        })
+    }
+
+    fn dispatch_cold(
+        &mut self,
+        inv: Invocation,
+        wait: SimDuration,
+    ) -> Result<InvocationRecord, RuntimeFault> {
+        let time_scale = self.sample_time_scale();
+        let id = self.next_container_id;
+        self.next_container_id += 1;
+        let mut container = Container::new(id, Arc::clone(&self.app), time_scale, inv.at);
+        if let Some(factory) = &self.config.observer_factory {
+            container.process_mut().attach_observer(factory());
+        }
+
+        let provision = self.config.provision_cost.mul_f64(time_scale);
+        let runtime_startup = self.config.runtime_startup_cost.mul_f64(time_scale);
+        let root = self.app.handler_module(inv.handler);
+        let load = container.process_mut().cold_start(root)?;
+        let init = provision + runtime_startup + load;
+
+        let mut inv_rng = SimRng::seed_from(inv.seed);
+        let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
+        let e2e = wait + init + outcome.exec_time;
+        container.occupy(inv.at + wait, init + outcome.exec_time);
+        let base = self.config.container_base_mem_kb;
+        let record = InvocationRecord {
+            at: inv.at,
+            handler: inv.handler,
+            cold: true,
+            wait_time: wait,
+            provision_time: provision,
+            runtime_startup_time: runtime_startup,
+            load_time: load,
+            init_latency: init,
+            exec_latency: outcome.exec_time,
+            e2e_latency: e2e,
+            deferred_load_time: outcome.deferred_load_time,
+            peak_mem_kb: outcome.peak_mem_kb + base,
+            container: id,
+        };
+        self.containers.push(container);
+        Ok(record)
+    }
+
+    /// All containers busy and at the cap: wait for the first to free up.
+    fn dispatch_queued(&mut self, inv: Invocation) -> Result<InvocationRecord, RuntimeFault> {
+        let free_at = self
+            .containers
+            .iter()
+            .map(Container::busy_until)
+            .min()
+            .expect("cap implies at least one container");
+        let wait = free_at.saturating_since(inv.at);
+        let id = self
+            .containers
+            .iter()
+            .min_by_key(|c| c.busy_until())
+            .map(Container::id)
+            .expect("container exists");
+        let container = self
+            .containers
+            .iter_mut()
+            .find(|c| c.id() == id)
+            .expect("container exists");
+        let mut inv_rng = SimRng::seed_from(inv.seed);
+        let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
+        container.occupy(free_at, outcome.exec_time);
+        let base = self.config.container_base_mem_kb;
+        Ok(InvocationRecord {
+            at: inv.at,
+            handler: inv.handler,
+            cold: false,
+            wait_time: wait,
+            provision_time: SimDuration::ZERO,
+            runtime_startup_time: SimDuration::ZERO,
+            load_time: SimDuration::ZERO,
+            init_latency: SimDuration::ZERO,
+            exec_latency: outcome.exec_time,
+            e2e_latency: wait + outcome.exec_time,
+            deferred_load_time: outcome.deferred_load_time,
+            peak_mem_kb: outcome.peak_mem_kb + base,
+            container: id,
+        })
+    }
+
+    fn sample_time_scale(&mut self) -> f64 {
+        if self.config.jitter_sigma <= 0.0 {
+            return 1.0;
+        }
+        // Log-normal with median 1.0.
+        let u1 = (1.0 - self.rng.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.config.jitter_sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::app::AppBuilder;
+    use slimstart_appmodel::function::{Stmt, StmtKind};
+    use slimstart_appmodel::imports::ImportMode;
+    use slimstart_appmodel::HandlerId;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    fn app() -> Arc<Application> {
+        let mut b = AppBuilder::new("t");
+        let lib = b.add_library("lib");
+        let h = b.add_app_module("handler", ms(1), 100);
+        let root = b.add_library_module("lib", ms(99), 1_000, false, lib);
+        b.add_import(h, root, 2, ImportMode::Global).unwrap();
+        let f_lib = b.add_function(
+            "work",
+            root,
+            5,
+            vec![Stmt {
+                line: 6,
+                kind: StmtKind::Work(ms(10)),
+            }],
+        );
+        let f = b.add_function(
+            "main",
+            h,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::call(f_lib),
+            }],
+        );
+        b.add_handler("main", f);
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn cfg() -> PlatformConfig {
+        PlatformConfig::default().without_jitter()
+    }
+
+    fn inv(at_ms: u64, seed: u64) -> Invocation {
+        Invocation {
+            at: SimTime::from_millis(at_ms),
+            handler: HandlerId::from_index(0),
+            seed,
+        }
+    }
+
+    #[test]
+    fn first_invocation_is_cold_with_decomposed_init() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        let recs = p.run(&[inv(0, 1)]).unwrap();
+        let r = recs[0];
+        assert!(r.cold);
+        assert_eq!(r.provision_time, ms(45));
+        assert_eq!(r.runtime_startup_time, ms(35));
+        assert_eq!(r.load_time, ms(100)); // 1 + 99
+        assert_eq!(r.init_latency, ms(180));
+        assert_eq!(r.exec_latency, ms(10));
+        assert_eq!(r.e2e_latency, ms(190));
+        // 35 MB base + 1.1 MB modules.
+        assert_eq!(r.peak_mem_kb, 35 * 1024 + 1_100);
+    }
+
+    #[test]
+    fn back_to_back_requests_hit_warm_container() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        let recs = p
+            .run(&[inv(0, 1), inv(1_000, 2), inv(2_000, 3)])
+            .unwrap()
+            .to_vec();
+        assert!(recs[0].cold);
+        assert!(!recs[1].cold);
+        assert!(!recs[2].cold);
+        assert_eq!(recs[1].init_latency, SimDuration::ZERO);
+        assert_eq!(recs[1].e2e_latency, ms(10));
+        assert_eq!(p.container_count(), 1);
+    }
+
+    #[test]
+    fn keep_alive_expiry_recreates_cold_start() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        let gap_ms = 11 * 60 * 1000; // > 10 min keep-alive
+        let recs = p.run(&[inv(0, 1), inv(gap_ms, 2)]).unwrap().to_vec();
+        assert!(recs[0].cold);
+        assert!(recs[1].cold);
+        assert_eq!(p.container_count(), 1); // old one reclaimed
+    }
+
+    #[test]
+    fn concurrent_requests_scale_out() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        // Second arrives while first still initializing.
+        let recs = p.run(&[inv(0, 1), inv(5, 2)]).unwrap().to_vec();
+        assert!(recs[0].cold);
+        assert!(recs[1].cold);
+        assert_eq!(p.container_count(), 2);
+    }
+
+    #[test]
+    fn container_cap_queues() {
+        let config = PlatformConfig {
+            max_containers: 1,
+            ..cfg()
+        };
+        let mut p = Platform::new(app(), config, 1);
+        let recs = p.run(&[inv(0, 1), inv(5, 2)]).unwrap().to_vec();
+        assert!(recs[0].cold);
+        assert!(!recs[1].cold);
+        // First busy until 190 ms; second waits 185 ms then runs warm.
+        assert_eq!(recs[1].wait_time, ms(185));
+        assert_eq!(recs[1].e2e_latency, ms(195));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_invocations_panic() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        let _ = p.run(&[inv(10, 1), inv(0, 2)]);
+    }
+
+    #[test]
+    fn prewarmed_pool_absorbs_first_requests() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        p.prewarm(2, HandlerId::from_index(0)).unwrap();
+        assert_eq!(p.container_count(), 2);
+        // Requests arriving after warm-up completes (init = 180 ms) are warm.
+        let recs = p.run(&[inv(200, 1), inv(210, 2)]).unwrap().to_vec();
+        assert!(!recs[0].cold);
+        assert!(!recs[1].cold);
+        assert_eq!(recs[0].init_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn requests_during_warmup_still_cold_start() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        p.prewarm(1, HandlerId::from_index(0)).unwrap();
+        // Arrives at 10 ms, while the pool is still warming (busy to 180 ms).
+        let recs = p.run(&[inv(10, 1)]).unwrap().to_vec();
+        assert!(recs[0].cold);
+        assert_eq!(p.container_count(), 2);
+    }
+
+    #[test]
+    fn prewarmed_pool_expires_like_any_container() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        p.prewarm(1, HandlerId::from_index(0)).unwrap();
+        // After keep-alive lapses, the pool is reclaimed and the request
+        // cold-starts.
+        let recs = p.run(&[inv(11 * 60 * 1000, 1)]).unwrap().to_vec();
+        assert!(recs[0].cold);
+        assert_eq!(p.container_count(), 1);
+    }
+
+    #[test]
+    fn jitter_produces_varying_init() {
+        let config = PlatformConfig {
+            jitter_sigma: 0.1,
+            ..PlatformConfig::default()
+        };
+        let mut p = Platform::new(app(), config, 7);
+        let gap = 11 * 60 * 1000;
+        let recs = p
+            .run(&[inv(0, 1), inv(gap, 2), inv(2 * gap, 3)])
+            .unwrap()
+            .to_vec();
+        let inits: Vec<u64> = recs.iter().map(|r| r.init_latency.as_micros()).collect();
+        assert!(inits[0] != inits[1] || inits[1] != inits[2]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut p = Platform::new(app(), PlatformConfig::default(), 99);
+            p.run(&[inv(0, 1), inv(10, 2)]).unwrap().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn records_accumulate_across_batches() {
+        let mut p = Platform::new(app(), cfg(), 1);
+        p.run(&[inv(0, 1)]).unwrap();
+        p.run(&[inv(1_000, 2)]).unwrap();
+        assert_eq!(p.records().len(), 2);
+    }
+}

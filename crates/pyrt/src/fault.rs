@@ -1,0 +1,91 @@
+//! Runtime faults: observable failures during invocation.
+//!
+//! Faults are how the tests verify optimizer *safety*: a correct optimizer
+//! never produces an application that faults, while an over-aggressive
+//! static slimmer that strips a module the workload actually needs produces
+//! a [`RuntimeFault::StrippedModuleCall`] — the false-negative failure mode
+//! FaaSLight must avoid by being conservative.
+
+use std::fmt;
+
+use slimstart_appmodel::{FunctionId, HandlerId, ModuleId};
+
+/// An invocation-terminating fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeFault {
+    /// A call needed a module that a static optimizer removed from the
+    /// package (Python's `ModuleNotFoundError`).
+    StrippedModuleCall {
+        /// The missing module.
+        module: ModuleId,
+        /// The function that was being invoked.
+        function: FunctionId,
+    },
+    /// An attribute access needed a module that a static optimizer removed.
+    StrippedModuleTouch {
+        /// The missing module.
+        module: ModuleId,
+    },
+    /// A cold start was attempted on a stripped handler module.
+    StrippedHandlerModule {
+        /// The missing module.
+        module: ModuleId,
+    },
+    /// An invocation referenced a handler the application does not declare.
+    UnknownHandler {
+        /// The offending handler id.
+        handler: HandlerId,
+    },
+    /// The interpreter exceeded its recursion limit (a model bug guard).
+    RecursionLimit {
+        /// The function at which the limit was hit.
+        function: FunctionId,
+    },
+}
+
+impl fmt::Display for RuntimeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeFault::StrippedModuleCall { module, function } => write!(
+                f,
+                "ModuleNotFoundError: module {module} was stripped but function {function} needs it"
+            ),
+            RuntimeFault::StrippedModuleTouch { module } => write!(
+                f,
+                "AttributeError: module {module} was stripped but an attribute access needs it"
+            ),
+            RuntimeFault::StrippedHandlerModule { module } => {
+                write!(f, "handler module {module} was stripped from the package")
+            }
+            RuntimeFault::UnknownHandler { handler } => {
+                write!(f, "unknown handler {handler}")
+            }
+            RuntimeFault::RecursionLimit { function } => {
+                write!(f, "recursion limit exceeded in function {function}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RuntimeFault::StrippedModuleCall {
+            module: ModuleId::from_index(3),
+            function: FunctionId::from_index(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("m3") && s.contains("f7"));
+        assert!(RuntimeFault::UnknownHandler {
+            handler: HandlerId::from_index(1)
+        }
+        .to_string()
+        .contains("h1"));
+    }
+}

@@ -1,0 +1,717 @@
+//! The process: module loader + interpreter on a virtual clock.
+//!
+//! A [`Process`] models one language runtime inside one container. It lives
+//! across invocations (warm starts reuse its module cache), pays module
+//! initialization costs on the virtual clock, executes handler call trees,
+//! and reports every time advance to an attached
+//! [`ExecutionObserver`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use slimstart_appmodel::function::{Stmt, StmtKind};
+use slimstart_appmodel::{Application, FunctionId, HandlerId, ModuleId};
+use slimstart_simcore::rng::SimRng;
+use slimstart_simcore::time::{SimDuration, SimTime};
+
+use crate::fault::RuntimeFault;
+use crate::observer::{AdvanceContext, ExecutionObserver};
+use crate::stack::{CallStack, FrameKind};
+
+/// Maximum call depth before the interpreter aborts (guards against model
+/// bugs; real applications in the catalog stay far below this).
+const RECURSION_LIMIT: usize = 256;
+
+/// One module load performed by this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadEvent {
+    /// Which module loaded.
+    pub module: ModuleId,
+    /// When the load finished.
+    pub at: SimTime,
+    /// The module's own top-level cost actually paid (scaled), excluding
+    /// the cost of modules it imported.
+    pub self_cost: SimDuration,
+    /// Whether the load happened during [`Process::cold_start`] (true) or
+    /// was a deferred first-use load during execution (false).
+    pub during_init: bool,
+}
+
+/// The result of one invocation on a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationOutcome {
+    /// Wall time of the handler execution, including deferred library loads
+    /// and profiling overhead.
+    pub exec_time: SimDuration,
+    /// Portion of `exec_time` spent in deferred (first-use) module loading.
+    pub deferred_load_time: SimDuration,
+    /// Peak resident memory observed so far in this process, KiB.
+    pub peak_mem_kb: u64,
+}
+
+/// A language runtime instance executing one application.
+pub struct Process {
+    app: Arc<Application>,
+    time_scale: f64,
+    clock: SimTime,
+    stack: CallStack,
+    loaded: Vec<bool>,
+    name_index: HashMap<String, ModuleId>,
+    load_events: Vec<LoadEvent>,
+    mem_kb: u64,
+    peak_mem_kb: u64,
+    observer: Option<Box<dyn ExecutionObserver>>,
+    in_cold_start: bool,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("app", &self.app.name())
+            .field("clock", &self.clock)
+            .field("loaded", &self.loaded.iter().filter(|l| **l).count())
+            .field("mem_kb", &self.mem_kb)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl Process {
+    /// Creates a fresh process for `app`.
+    ///
+    /// `time_scale` multiplies every paid duration, modeling run-to-run
+    /// performance jitter of real containers (1.0 = nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not finite and positive.
+    pub fn new(app: Arc<Application>, time_scale: f64) -> Self {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time_scale must be finite and positive"
+        );
+        let name_index = app
+            .modules()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name().to_string(), ModuleId::from_index(i)))
+            .collect();
+        let loaded = vec![false; app.modules().len()];
+        Process {
+            app,
+            time_scale,
+            clock: SimTime::ZERO,
+            stack: CallStack::new(),
+            loaded,
+            name_index,
+            load_events: Vec::new(),
+            mem_kb: 0,
+            peak_mem_kb: 0,
+            observer: None,
+            in_cold_start: false,
+        }
+    }
+
+    /// Attaches a profiler/observer. Replaces any existing attachment.
+    pub fn attach_observer(&mut self, observer: Box<dyn ExecutionObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the observer, if any.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn ExecutionObserver>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// The application this process executes.
+    pub fn app(&self) -> &Arc<Application> {
+        &self.app
+    }
+
+    /// Current virtual time of this process.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Current resident memory (loaded modules + observer buffers), KiB.
+    pub fn mem_kb(&self) -> u64 {
+        self.mem_kb + self.observer.as_ref().map_or(0, |o| o.extra_mem_kb())
+    }
+
+    /// Peak resident memory observed, KiB.
+    pub fn peak_mem_kb(&self) -> u64 {
+        self.peak_mem_kb
+    }
+
+    /// Whether `module` has been loaded.
+    pub fn is_loaded(&self, module: ModuleId) -> bool {
+        self.loaded[module.index()]
+    }
+
+    /// All loads performed so far, in order.
+    pub fn load_events(&self) -> &[LoadEvent] {
+        &self.load_events
+    }
+
+    /// Total module-init time paid during cold start (the hierarchical
+    /// breakdown's ground truth, Eq. 1).
+    pub fn init_time_paid(&self) -> SimDuration {
+        self.load_events
+            .iter()
+            .filter(|e| e.during_init)
+            .map(|e| e.self_cost)
+            .sum()
+    }
+
+    /// Performs the cold-start load of the handler module graph and returns
+    /// the initialization latency (library-loading portion of a cold start).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeFault::StrippedHandlerModule`] if the entry module
+    /// was removed by a static optimizer.
+    pub fn cold_start(&mut self, root: ModuleId) -> Result<SimDuration, RuntimeFault> {
+        if self.app.module(root).stripped() {
+            return Err(RuntimeFault::StrippedHandlerModule { module: root });
+        }
+        let start = self.clock;
+        self.in_cold_start = true;
+        let app = Arc::clone(&self.app);
+        self.load_with_parents(&app, root);
+        self.in_cold_start = false;
+        self.bump_peak();
+        Ok(self.clock.since(start))
+    }
+
+    /// Executes one invocation of `handler`, using `rng` for the
+    /// application's data-dependent branches.
+    ///
+    /// Deferred imports reached for the first time are loaded here and their
+    /// cost lands in [`InvocationOutcome::exec_time`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeFault`] if the handler is unknown or execution
+    /// reaches a stripped module.
+    pub fn invoke(
+        &mut self,
+        handler: HandlerId,
+        rng: &mut SimRng,
+    ) -> Result<InvocationOutcome, RuntimeFault> {
+        if handler.index() >= self.app.handlers().len() {
+            return Err(RuntimeFault::UnknownHandler { handler });
+        }
+        let app = Arc::clone(&self.app);
+        let function = app.handler(handler).function();
+        let start = self.clock;
+        let mut deferred = SimDuration::ZERO;
+
+        // The handler's own module may itself be deferred-loaded if the
+        // platform skipped cold_start (tests use this).
+        let handler_module = app.function(function).module();
+        if !self.loaded[handler_module.index()] {
+            let t0 = self.clock;
+            if app.module(handler_module).stripped() {
+                return Err(RuntimeFault::StrippedHandlerModule {
+                    module: handler_module,
+                });
+            }
+            self.load_with_parents(&app, handler_module);
+            deferred += self.clock.since(t0);
+        }
+
+        self.exec_function(&app, function, rng, 0, &mut deferred)?;
+
+        if let Some(observer) = self.observer.as_mut() {
+            let overhead = observer.on_invocation_end(&app).mul_f64(self.time_scale);
+            self.clock += overhead;
+        }
+        self.bump_peak();
+        Ok(InvocationOutcome {
+            exec_time: self.clock.since(start),
+            deferred_load_time: deferred,
+            peak_mem_kb: self.peak_mem_kb,
+        })
+    }
+
+    // ---------------------------------------------------------------- internals
+
+    /// Advances the clock by `d` (scaled), reporting to the observer and
+    /// charging its overhead.
+    fn advance(&mut self, d: SimDuration) {
+        let scaled = d.mul_f64(self.time_scale);
+        let from = self.clock;
+        let to = from + scaled;
+        let overhead = match self.observer.as_mut() {
+            Some(observer) => observer.on_advance(AdvanceContext {
+                app: &self.app,
+                stack: &self.stack,
+                from,
+                to,
+            }),
+            None => SimDuration::ZERO,
+        };
+        self.clock = to + overhead;
+    }
+
+    fn bump_peak(&mut self) {
+        let now = self.mem_kb();
+        if now > self.peak_mem_kb {
+            self.peak_mem_kb = now;
+        }
+    }
+
+    /// Loads `module` the Python way: ancestors first, then the module.
+    fn load_with_parents(&mut self, app: &Arc<Application>, module: ModuleId) {
+        let name = app.module(module).name().to_string();
+        let mut prefix_end = 0usize;
+        let bytes = name.as_bytes();
+        for i in 0..=bytes.len() {
+            if i == bytes.len() || bytes[i] == b'.' {
+                prefix_end = i;
+                let prefix = &name[..prefix_end];
+                if let Some(&id) = self.name_index.get(prefix) {
+                    if !self.loaded[id.index()] && !app.module(id).stripped() {
+                        self.load_single(app, id);
+                    }
+                }
+            }
+        }
+        let _ = prefix_end;
+    }
+
+    /// Loads exactly one module: runs its global imports, then its top level.
+    fn load_single(&mut self, app: &Arc<Application>, module: ModuleId) {
+        debug_assert!(!self.loaded[module.index()], "double load of {module}");
+        // Mark first (Python registers in sys.modules before executing).
+        self.loaded[module.index()] = true;
+        self.stack.push(FrameKind::ModuleInit(module), 1);
+
+        for decl in app.imports_of(module) {
+            if !decl.mode.is_global() {
+                continue;
+            }
+            if app.module(decl.target).stripped() {
+                continue; // the static optimizer removed this import
+            }
+            self.stack.set_line(decl.line);
+            if !self.loaded[decl.target.index()] {
+                self.load_with_parents(app, decl.target);
+            }
+        }
+
+        // Execute the module's own top level.
+        let before = self.clock;
+        self.stack.set_line(1);
+        self.advance(app.module(module).init_cost());
+        let self_cost = self.clock.since(before);
+
+        self.stack.pop();
+        self.mem_kb += app.module(module).mem_kb();
+        self.bump_peak();
+        self.load_events.push(LoadEvent {
+            module,
+            at: self.clock,
+            self_cost,
+            during_init: self.in_cold_start,
+        });
+    }
+
+    fn exec_function(
+        &mut self,
+        app: &Arc<Application>,
+        function: FunctionId,
+        rng: &mut SimRng,
+        depth: usize,
+        deferred: &mut SimDuration,
+    ) -> Result<(), RuntimeFault> {
+        if depth >= RECURSION_LIMIT {
+            return Err(RuntimeFault::RecursionLimit { function });
+        }
+        let f = app.function(function);
+        self.stack.push(FrameKind::Call(function), f.line());
+        let result = self.exec_stmts(app, f.body(), rng, depth, deferred);
+        self.stack.pop();
+        result
+    }
+
+    fn exec_stmts(
+        &mut self,
+        app: &Arc<Application>,
+        stmts: &[Stmt],
+        rng: &mut SimRng,
+        depth: usize,
+        deferred: &mut SimDuration,
+    ) -> Result<(), RuntimeFault> {
+        for stmt in stmts {
+            self.stack.set_line(stmt.line);
+            match &stmt.kind {
+                StmtKind::Work(d) => self.advance(*d),
+                StmtKind::Call(site) => {
+                    let callee_module = app.function(site.target).module();
+                    if !self.loaded[callee_module.index()] {
+                        if app.module(callee_module).stripped() {
+                            return Err(RuntimeFault::StrippedModuleCall {
+                                module: callee_module,
+                                function: site.target,
+                            });
+                        }
+                        // First use of a deferred import: load now.
+                        let t0 = self.clock;
+                        self.load_with_parents(app, callee_module);
+                        *deferred += self.clock.since(t0);
+                    }
+                    self.exec_function(app, site.target, rng, depth + 1, deferred)?;
+                }
+                StmtKind::Touch(module) => {
+                    if !self.loaded[module.index()] {
+                        if app.module(*module).stripped() {
+                            return Err(RuntimeFault::StrippedModuleTouch { module: *module });
+                        }
+                        let t0 = self.clock;
+                        self.load_with_parents(app, *module);
+                        *deferred += self.clock.since(t0);
+                    }
+                }
+                StmtKind::Branch { probability, body } => {
+                    if rng.chance(*probability) {
+                        self.exec_stmts(app, body, rng, depth, deferred)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::app::AppBuilder;
+    use slimstart_appmodel::imports::ImportMode;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    /// handler.py -> lib (root imports hot + cold subpackages); handler
+    /// calls into hot only; cold has a function never called.
+    fn build_app(defer_cold: bool) -> (Arc<Application>, ModuleId, HandlerId) {
+        let mut b = AppBuilder::new("t");
+        let lib = b.add_library("lib");
+        let h = b.add_app_module("handler", ms(1), 128);
+        let root = b.add_library_module("lib", ms(2), 256, false, lib);
+        let hot = b.add_library_module("lib.hot", ms(10), 1_000, false, lib);
+        let cold = b.add_library_module("lib.cold", ms(50), 5_000, false, lib);
+        let cold_leaf = b.add_library_module("lib.cold.leaf", ms(25), 2_000, false, lib);
+        b.add_import(h, root, 2, ImportMode::Global).unwrap();
+        b.add_import(root, hot, 2, ImportMode::Global).unwrap();
+        b.add_import(
+            root,
+            cold,
+            3,
+            if defer_cold {
+                ImportMode::Deferred
+            } else {
+                ImportMode::Global
+            },
+        )
+        .unwrap();
+        b.add_import(cold, cold_leaf, 2, ImportMode::Global).unwrap();
+        let f_hot = b.add_function(
+            "work",
+            hot,
+            5,
+            vec![Stmt {
+                line: 6,
+                kind: StmtKind::Work(ms(4)),
+            }],
+        );
+        let f_cold = b.add_function(
+            "rare",
+            cold,
+            5,
+            vec![Stmt {
+                line: 6,
+                kind: StmtKind::Work(ms(1)),
+            }],
+        );
+        let f_main = b.add_function(
+            "main",
+            h,
+            4,
+            vec![
+                Stmt {
+                    line: 5,
+                    kind: StmtKind::call(f_hot),
+                },
+                Stmt {
+                    line: 6,
+                    kind: StmtKind::Branch {
+                        probability: 0.0,
+                        body: vec![Stmt {
+                            line: 7,
+                            kind: StmtKind::call(f_cold),
+                        }],
+                    },
+                },
+            ],
+        );
+        let handler = b.add_handler("main", f_main);
+        let app = Arc::new(b.finish().unwrap());
+        let hm = app.module_by_name("handler").unwrap();
+        (app, hm, handler)
+    }
+
+    #[test]
+    fn eager_cold_start_pays_everything() {
+        let (app, root, _) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        let init = p.cold_start(root).unwrap();
+        // 1 + 2 + 10 + 50 + 25 ms.
+        assert_eq!(init, ms(88));
+        assert_eq!(p.init_time_paid(), ms(88));
+        assert_eq!(p.mem_kb(), 128 + 256 + 1_000 + 5_000 + 2_000);
+    }
+
+    #[test]
+    fn deferred_import_skips_cold_subtree() {
+        let (app, root, _) = build_app(true);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        let init = p.cold_start(root).unwrap();
+        assert_eq!(init, ms(13)); // 1 + 2 + 10
+        let cold = app.module_by_name("lib.cold").unwrap();
+        assert!(!p.is_loaded(cold));
+        assert_eq!(p.mem_kb(), 128 + 256 + 1_000);
+    }
+
+    #[test]
+    fn invocation_executes_work() {
+        let (app, root, h) = build_app(true);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        p.cold_start(root).unwrap();
+        let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        assert_eq!(out.exec_time, ms(4)); // hot work only; branch never fires
+        assert_eq!(out.deferred_load_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn first_use_triggers_deferred_load_with_parents() {
+        let (app, root, _) = build_app(true);
+        // Force the rare branch by invoking the cold function directly via a
+        // dedicated app: simpler — raise probability to 1 by rebuilding.
+        let mut b = AppBuilder::new("t2");
+        let lib = b.add_library("lib");
+        let hm = b.add_app_module("handler", ms(1), 0);
+        let lroot = b.add_library_module("lib", ms(2), 0, false, lib);
+        let cold = b.add_library_module("lib.cold", ms(50), 0, false, lib);
+        b.add_import(hm, lroot, 2, ImportMode::Global).unwrap();
+        b.add_import(lroot, cold, 2, ImportMode::Deferred).unwrap();
+        let f_cold = b.add_function(
+            "rare",
+            cold,
+            5,
+            vec![Stmt {
+                line: 6,
+                kind: StmtKind::Work(ms(1)),
+            }],
+        );
+        let f_main = b.add_function(
+            "main",
+            hm,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::call(f_cold),
+            }],
+        );
+        let h2 = b.add_handler("main", f_main);
+        let app2 = Arc::new(b.finish().unwrap());
+        let hm2 = app2.module_by_name("handler").unwrap();
+        let mut p = Process::new(Arc::clone(&app2), 1.0);
+        let init = p.cold_start(hm2).unwrap();
+        assert_eq!(init, ms(3)); // handler + lib root only
+        let out = p.invoke(h2, &mut SimRng::seed_from(1)).unwrap();
+        // Deferred load of lib.cold (50) + work (1).
+        assert_eq!(out.exec_time, ms(51));
+        assert_eq!(out.deferred_load_time, ms(50));
+        assert!(p.is_loaded(app2.module_by_name("lib.cold").unwrap()));
+
+        // keep the original app alive so the first part of this test is
+        // meaningful
+        let _ = (app, root);
+    }
+
+    #[test]
+    fn warm_invocations_pay_no_load() {
+        let (app, root, h) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        p.cold_start(root).unwrap();
+        let first = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        let second = p.invoke(h, &mut SimRng::seed_from(2)).unwrap();
+        assert_eq!(first.exec_time, second.exec_time);
+        assert_eq!(p.load_events().len(), 5);
+    }
+
+    #[test]
+    fn time_scale_inflates_latency() {
+        let (app, root, _) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 2.0);
+        let init = p.cold_start(root).unwrap();
+        assert_eq!(init, ms(176));
+    }
+
+    #[test]
+    #[should_panic(expected = "time_scale")]
+    fn rejects_bad_time_scale() {
+        let (app, _, _) = build_app(false);
+        Process::new(app, 0.0);
+    }
+
+    #[test]
+    fn stripped_module_call_faults() {
+        let (app, root, h) = build_app(false);
+        let mut app2 = (*app).clone();
+        let hot = app2.module_by_name("lib.hot").unwrap();
+        app2.module_mut(hot).set_stripped(true);
+        let app2 = Arc::new(app2);
+        let mut p = Process::new(Arc::clone(&app2), 1.0);
+        p.cold_start(root).unwrap();
+        let err = p.invoke(h, &mut SimRng::seed_from(1)).unwrap_err();
+        assert!(matches!(err, RuntimeFault::StrippedModuleCall { .. }));
+    }
+
+    #[test]
+    fn stripped_handler_module_faults_cold_start() {
+        let (app, root, _) = build_app(false);
+        let mut app2 = (*app).clone();
+        app2.module_mut(root).set_stripped(true);
+        let app2 = Arc::new(app2);
+        let mut p = Process::new(app2, 1.0);
+        assert!(matches!(
+            p.cold_start(root),
+            Err(RuntimeFault::StrippedHandlerModule { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_handler_faults() {
+        let (app, _, _) = build_app(false);
+        let mut p = Process::new(app, 1.0);
+        let err = p
+            .invoke(HandlerId::from_index(99), &mut SimRng::seed_from(1))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeFault::UnknownHandler { .. }));
+    }
+
+    #[test]
+    fn invoke_without_cold_start_self_loads() {
+        let (app, _, h) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        // All loading happens as "deferred" inside the invocation.
+        assert_eq!(out.deferred_load_time, ms(88));
+        assert_eq!(p.init_time_paid(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn load_events_record_self_costs() {
+        let (app, root, _) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        p.cold_start(root).unwrap();
+        let total: SimDuration = p.load_events().iter().map(|e| e.self_cost).sum();
+        assert_eq!(total, ms(88));
+        assert!(p.load_events().iter().all(|e| e.during_init));
+        // Load order: dependencies before importers, handler last.
+        let names: Vec<&str> = p
+            .load_events()
+            .iter()
+            .map(|e| app.module(e.module).name())
+            .collect();
+        assert_eq!(names.last(), Some(&"handler"));
+    }
+
+    #[test]
+    fn observer_overhead_is_charged() {
+        struct FixedOverhead;
+        impl ExecutionObserver for FixedOverhead {
+            fn on_advance(&mut self, _ctx: AdvanceContext<'_>) -> SimDuration {
+                SimDuration::from_micros(100)
+            }
+            fn on_invocation_end(&mut self, _app: &Application) -> SimDuration {
+                SimDuration::from_millis(1)
+            }
+            fn extra_mem_kb(&self) -> u64 {
+                512
+            }
+        }
+        let (app, root, h) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        p.attach_observer(Box::new(FixedOverhead));
+        let init = p.cold_start(root).unwrap();
+        // 5 advances during load, each +100us.
+        assert_eq!(init, ms(88) + SimDuration::from_micros(500));
+        let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        // 1 work advance (+100us) + invocation-end flush (1ms).
+        assert_eq!(
+            out.exec_time,
+            ms(4) + SimDuration::from_micros(100) + ms(1)
+        );
+        assert_eq!(p.mem_kb(), 128 + 256 + 1_000 + 5_000 + 2_000 + 512);
+        assert!(p.has_observer());
+        assert!(p.detach_observer().is_some());
+        assert!(!p.has_observer());
+    }
+
+    #[test]
+    fn branch_probability_one_always_fires() {
+        let mut b = AppBuilder::new("t");
+        let m = b.add_app_module("handler", SimDuration::ZERO, 0);
+        let f = b.add_function(
+            "main",
+            m,
+            1,
+            vec![Stmt {
+                line: 2,
+                kind: StmtKind::Branch {
+                    probability: 1.0,
+                    body: vec![Stmt {
+                        line: 3,
+                        kind: StmtKind::Work(ms(7)),
+                    }],
+                },
+            }],
+        );
+        let h = b.add_handler("h", f);
+        let app = Arc::new(b.finish().unwrap());
+        let mut p = Process::new(app, 1.0);
+        let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        assert_eq!(out.exec_time, ms(7));
+    }
+
+    #[test]
+    fn recursion_limit_guards() {
+        let mut b = AppBuilder::new("t");
+        let m = b.add_app_module("handler", SimDuration::ZERO, 0);
+        // f calls itself.
+        let f_id = FunctionId::from_index(0);
+        let f = b.add_function(
+            "loopy",
+            m,
+            1,
+            vec![Stmt {
+                line: 2,
+                kind: StmtKind::call(f_id),
+            }],
+        );
+        let h = b.add_handler("h", f);
+        let app = Arc::new(b.finish().unwrap());
+        let mut p = Process::new(app, 1.0);
+        let err = p.invoke(h, &mut SimRng::seed_from(1)).unwrap_err();
+        assert!(matches!(err, RuntimeFault::RecursionLimit { .. }));
+    }
+}

@@ -1,0 +1,38 @@
+//! # slimstart-workload
+//!
+//! Workload generation for the SlimStart evaluation:
+//!
+//! * [`spec`] — declarative workload descriptions (handler mix + arrival
+//!   process) and resolution against an application;
+//! * [`generator`] — deterministic invocation-stream generation, including
+//!   the paper's 500-cold-start evaluation series;
+//! * [`drift`] — time-varying handler mixes for the adaptive-mechanism
+//!   experiments (§IV-C, Fig. 10);
+//! * [`trace`] — a synthetic *production trace* calibrated to the paper's
+//!   §II-C statistics from Azure traces: 119 applications, 54 % with more
+//!   than one entry point, top handlers dominating invocations (Fig. 3),
+//!   and drift episodes at specific hours (Fig. 10).
+//!
+//! # Example
+//!
+//! ```
+//! use slimstart_workload::spec::{ArrivalProcess, WorkloadSpec};
+//! use slimstart_workload::generator::generate;
+//! use slimstart_appmodel::catalog::by_code;
+//! use slimstart_simcore::time::SimDuration;
+//!
+//! let app = by_code("R-GB").expect("entry").build(7)?.app;
+//! let spec = WorkloadSpec::uniform_cold_starts(&app, 100);
+//! let invocations = generate(&spec, &app, 42)?;
+//! assert_eq!(invocations.len(), 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod drift;
+pub mod generator;
+pub mod spec;
+pub mod trace;
+
+pub use generator::{generate, merge_streams, WorkloadError};
+pub use spec::{ArrivalProcess, HandlerMix, WorkloadSpec};
+pub use trace::{ProductionTrace, TraceConfig};

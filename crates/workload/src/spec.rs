@@ -1,0 +1,153 @@
+//! Declarative workload specifications.
+
+use slimstart_appmodel::Application;
+use slimstart_simcore::time::SimDuration;
+
+/// How much of the request stream each handler receives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandlerMix {
+    /// Handler name (must exist in the application).
+    pub name: String,
+    /// Relative weight (normalized internally; zero = never invoked, the
+    /// paper's workload-dead entry points).
+    pub weight: f64,
+}
+
+/// When requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// `count` requests spaced farther apart than the keep-alive window so
+    /// that *every* request cold-starts — the paper's evaluation
+    /// methodology ("each application is executed with 500 cold starts").
+    ColdStartSeries {
+        /// Number of requests.
+        count: usize,
+        /// Gap between requests (must exceed the platform keep-alive).
+        gap: SimDuration,
+    },
+    /// Poisson arrivals at `rate_per_sec` for `duration`.
+    Poisson {
+        /// Mean arrival rate, requests/second.
+        rate_per_sec: f64,
+        /// Length of the generated stream.
+        duration: SimDuration,
+    },
+    /// `count` requests with a fixed `gap` (mostly warm once started).
+    ClosedLoop {
+        /// Number of requests.
+        count: usize,
+        /// Fixed inter-arrival gap.
+        gap: SimDuration,
+    },
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Handler mix.
+    pub handlers: Vec<HandlerMix>,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+}
+
+impl WorkloadSpec {
+    /// A cold-start series spread uniformly over the application's handlers.
+    pub fn uniform_cold_starts(app: &Application, count: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            handlers: app
+                .handlers()
+                .iter()
+                .map(|h| HandlerMix {
+                    name: h.name().to_string(),
+                    weight: 1.0,
+                })
+                .collect(),
+            arrival: ArrivalProcess::ColdStartSeries {
+                count,
+                gap: SimDuration::from_mins(11),
+            },
+        }
+    }
+
+    /// A cold-start series with an explicit `(name, weight)` mix — the form
+    /// the catalog's `workload_weights` produce.
+    pub fn cold_starts_with_mix(mix: &[(String, f64)], count: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            handlers: mix
+                .iter()
+                .map(|(name, weight)| HandlerMix {
+                    name: name.clone(),
+                    weight: *weight,
+                })
+                .collect(),
+            arrival: ArrivalProcess::ColdStartSeries {
+                count,
+                gap: SimDuration::from_mins(11),
+            },
+        }
+    }
+
+    /// A closed-loop (mostly warm) stream with the given mix, used by the
+    /// profiler-overhead study (500 requests against warm containers).
+    pub fn closed_loop_with_mix(
+        mix: &[(String, f64)],
+        count: usize,
+        gap: SimDuration,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            handlers: mix
+                .iter()
+                .map(|(name, weight)| HandlerMix {
+                    name: name.clone(),
+                    weight: *weight,
+                })
+                .collect(),
+            arrival: ArrivalProcess::ClosedLoop { count, gap },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::app::AppBuilder;
+
+    fn app() -> Application {
+        let mut b = AppBuilder::new("t");
+        let m = b.add_app_module("handler", SimDuration::ZERO, 0);
+        let f = b.add_function("main", m, 1, vec![]);
+        let g = b.add_function("other", m, 9, vec![]);
+        b.add_handler("main", f);
+        b.add_handler("other", g);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn uniform_covers_all_handlers() {
+        let spec = WorkloadSpec::uniform_cold_starts(&app(), 10);
+        assert_eq!(spec.handlers.len(), 2);
+        assert!(spec.handlers.iter().all(|h| h.weight == 1.0));
+        assert!(matches!(
+            spec.arrival,
+            ArrivalProcess::ColdStartSeries { count: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn mix_constructor_preserves_weights() {
+        let mix = vec![("main".to_string(), 0.9), ("other".to_string(), 0.1)];
+        let spec = WorkloadSpec::cold_starts_with_mix(&mix, 5);
+        assert_eq!(spec.handlers[0].weight, 0.9);
+        assert_eq!(spec.handlers[1].name, "other");
+    }
+
+    #[test]
+    fn closed_loop_constructor() {
+        let mix = vec![("main".to_string(), 1.0)];
+        let spec = WorkloadSpec::closed_loop_with_mix(&mix, 7, SimDuration::from_millis(100));
+        assert!(matches!(
+            spec.arrival,
+            ArrivalProcess::ClosedLoop { count: 7, .. }
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! CI/CD with adaptive re-optimization (paper §IV-C).
+//!
+//! A workload shift makes yesterday's optimization stale: the `admin` entry
+//! point — dead at deployment time, so its libraries were lazy-loaded —
+//! suddenly takes 30 % of traffic. The adaptive monitor notices the change
+//! in invocation probabilities (Σ|Δp| > ε) and re-triggers profiling; the
+//! second optimization round keeps the now-hot package eager again.
+//!
+//! ```sh
+//! cargo run --release --example cicd_adaptive
+//! ```
+
+use slimstart::appmodel::catalog::by_code;
+use slimstart::appmodel::HandlerId;
+use slimstart::core::adaptive::AdaptiveDecision;
+use slimstart::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entry = by_code("R-GB").expect("graph-bfs in catalog");
+    let built = entry.build(7)?;
+    let app = built.app;
+
+    println!("== CI/CD loop with adaptive re-profiling ==\n");
+
+    // ---------------- Round 1: optimize for the deployment-time workload.
+    let config = PipelineConfig {
+        cold_starts: 200,
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(config.clone());
+    let day_one_mix = vec![("handler".to_string(), 1.0), ("admin".to_string(), 0.0)];
+    let round1 = pipeline.run(&app, &day_one_mix)?;
+    println!("round 1 (admin handler unused):");
+    println!(
+        "  deferred: {:?}",
+        round1
+            .optimization
+            .as_ref()
+            .map(|o| o.deferred_packages.clone())
+            .unwrap_or_default()
+    );
+    println!("  init speedup {:.2}x\n", round1.speedup.init);
+
+    // ---------------- Production: the workload drifts.
+    // Four 12 h windows at the old mix, then admin jumps to 30 %.
+    let monitor_cfg = AdaptiveConfig::default();
+    let mut monitor = AdaptiveMonitor::new(monitor_cfg, app.handlers().len());
+    let handler_id = app.handler_by_name("handler").expect("exists");
+    let admin_id = app.handler_by_name("admin").expect("exists");
+    let mut decision = None;
+    for window in 0..6u64 {
+        let at = SimTime::ZERO + monitor_cfg.window * window;
+        let admin_share = if window < 4 { 0 } else { 30 };
+        for i in 0..100 {
+            let h: HandlerId = if i < admin_share { admin_id } else { handler_id };
+            if let Some(d) = monitor.record(h, at) {
+                decision = Some((window, d));
+            }
+        }
+    }
+    monitor.flush();
+    for w in monitor.history() {
+        println!(
+            "  window @ {:>5.0} h: dp = {:.3} {}",
+            w.start.as_secs_f64() / 3600.0,
+            w.delta,
+            if w.triggered { "<- TRIGGER profiling" } else { "" }
+        );
+    }
+    let (at_window, AdaptiveDecision::TriggerProfiling { delta }) = decision
+        .or_else(|| {
+            monitor
+                .history()
+                .iter()
+                .enumerate()
+                .find(|(_, w)| w.triggered)
+                .map(|(i, w)| (i as u64, AdaptiveDecision::TriggerProfiling { delta: w.delta }))
+        })
+        .expect("the drift must trigger");
+    println!("\nadaptive mechanism fired at window {at_window} (dp = {delta:.3} > eps = 0.002)\n");
+
+    // ---------------- Round 2: re-profile under the new mix.
+    let drifted_mix = vec![("handler".to_string(), 0.7), ("admin".to_string(), 0.3)];
+    let round2 = pipeline.run(&app, &drifted_mix)?;
+    println!("round 2 (admin now 30% of traffic):");
+    println!(
+        "  deferred: {:?}",
+        round2
+            .optimization
+            .as_ref()
+            .map(|o| o.deferred_packages.clone())
+            .unwrap_or_default()
+    );
+    println!("  init speedup {:.2}x", round2.speedup.init);
+
+    let r1 = round1
+        .optimization
+        .as_ref()
+        .map(|o| o.deferred_packages.clone())
+        .unwrap_or_default();
+    let r2 = round2
+        .optimization
+        .as_ref()
+        .map(|o| o.deferred_packages.clone())
+        .unwrap_or_default();
+    let revived: Vec<&String> = r1.iter().filter(|p| !r2.contains(p)).collect();
+    println!(
+        "\npackages re-warmed because the drifted workload now uses them: {revived:?}"
+    );
+    println!("(stale optimizations would have paid their load cost on 30% of requests)");
+    Ok(())
+}

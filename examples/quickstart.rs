@@ -1,0 +1,133 @@
+//! Quickstart: build a small serverless application, profile it, let
+//! SlimStart optimize it, and compare cold-start latency.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use slimstart::appmodel::app::AppBuilder;
+use slimstart::appmodel::function::{Stmt, StmtKind};
+use slimstart::appmodel::ImportMode;
+use slimstart::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Model a serverless application.
+    //
+    // handler.py imports `mlkit`; mlkit's __init__ eagerly imports a hot
+    // inference module and a heavy, rarely needed visualization module —
+    // the igraph pattern from the paper's Table I.
+    // ------------------------------------------------------------------
+    let mut b = AppBuilder::new("quickstart");
+    let lib = b.add_library("mlkit");
+    let handler_mod = b.add_app_module("handler", SimDuration::from_millis(2), 512);
+    let root = b.add_library_module("mlkit", SimDuration::from_millis(5), 1_024, false, lib);
+    let infer = b.add_library_module(
+        "mlkit.infer",
+        SimDuration::from_millis(120),
+        20_480,
+        false,
+        lib,
+    );
+    let viz = b.add_library_module(
+        "mlkit.viz",
+        SimDuration::from_millis(380),
+        61_440,
+        false,
+        lib,
+    );
+    b.add_import(handler_mod, root, 2, ImportMode::Global)?;
+    b.add_import(root, infer, 2, ImportMode::Global)?;
+    b.add_import(root, viz, 3, ImportMode::Global)?;
+
+    let predict = b.add_function(
+        "predict",
+        infer,
+        10,
+        vec![Stmt {
+            line: 11,
+            kind: StmtKind::Work(SimDuration::from_millis(35)),
+        }],
+    );
+    let plot = b.add_function(
+        "plot",
+        viz,
+        10,
+        vec![Stmt {
+            line: 11,
+            kind: StmtKind::Work(SimDuration::from_millis(60)),
+        }],
+    );
+    let serve = b.add_function(
+        "serve",
+        handler_mod,
+        4,
+        vec![
+            Stmt {
+                line: 5,
+                kind: StmtKind::call(predict),
+            },
+            // Only 1 in 200 requests asks for a rendered chart.
+            Stmt {
+                line: 6,
+                kind: StmtKind::Branch {
+                    probability: 0.005,
+                    body: vec![Stmt {
+                        line: 7,
+                        kind: StmtKind::call(plot),
+                    }],
+                },
+            },
+        ],
+    );
+    b.add_handler("serve", serve);
+    let app = b.finish()?;
+
+    // ------------------------------------------------------------------
+    // 2. Run the full SlimStart pipeline:
+    //    baseline -> gate -> profile -> detect -> optimize -> re-measure.
+    // ------------------------------------------------------------------
+    let config = PipelineConfig {
+        cold_starts: 300,
+        ..PipelineConfig::default()
+    };
+    let outcome = Pipeline::new(config).run(&app, &[("serve".to_string(), 1.0)])?;
+
+    println!("== SlimStart quickstart ==\n");
+    println!(
+        "baseline : init {:>7.1} ms   e2e {:>7.1} ms   peak mem {:>6.1} MB",
+        outcome.baseline.mean_init_ms, outcome.baseline.mean_e2e_ms, outcome.baseline.peak_mem_mb
+    );
+    println!(
+        "optimized: init {:>7.1} ms   e2e {:>7.1} ms   peak mem {:>6.1} MB",
+        outcome.optimized.mean_init_ms, outcome.optimized.mean_e2e_ms, outcome.optimized.peak_mem_mb
+    );
+    println!(
+        "speedup  : init {:.2}x   e2e {:.2}x   memory {:.2}x\n",
+        outcome.speedup.init, outcome.speedup.e2e, outcome.speedup.mem
+    );
+
+    println!("what the profiler found:");
+    for f in &outcome.report.findings {
+        println!(
+            "  {:<12} utilization {:>5.2}%   init overhead {:>5.1}%   {:?}",
+            f.package,
+            f.utilization * 100.0,
+            f.init_fraction * 100.0,
+            f.class
+        );
+    }
+
+    println!("\ncode edits applied:");
+    if let Some(opt) = &outcome.optimization {
+        for edit in &opt.edits {
+            println!("{edit}\n");
+        }
+    }
+
+    println!(
+        "profiler overhead during the profiling window: {:.2}%",
+        (outcome.profiler_overhead() - 1.0) * 100.0
+    );
+    Ok(())
+}

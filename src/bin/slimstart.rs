@@ -1,0 +1,231 @@
+//! The `slimstart` command-line tool.
+//!
+//! ```text
+//! slimstart catalog                         list the paper's 22 applications
+//! slimstart run <CODE> [options]            full pipeline on one catalog app
+//!     --cold-starts <N>                     cold starts per run (default 500)
+//!     --seed <S>                            experiment seed (default 2025)
+//!     --json                                machine-readable output
+//!     --iterate <ROUNDS>                    iterative CI/CD rounds
+//!     --async-collector                     ship profiles over the channel
+//! slimstart source <CODE> <MODULE>          rendered source of a module
+//! slimstart graph <CODE> [--optimized]      import graph as Graphviz DOT
+//! slimstart trace [--seed <S>]              production-trace statistics
+//! slimstart help                            this text
+//! ```
+
+use std::process::ExitCode;
+
+use slimstart::appmodel::catalog::{by_code, catalog};
+use slimstart::appmodel::source::render_module;
+use slimstart::core::export::outcome_to_json;
+use slimstart::core::pipeline::{Pipeline, PipelineConfig};
+use slimstart::core::report::render;
+use slimstart::workload::trace::{ProductionTrace, TraceConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let result = match command {
+        "catalog" => cmd_catalog(),
+        "run" => cmd_run(&args[1..]),
+        "source" => cmd_source(&args[1..]),
+        "graph" => cmd_graph(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `slimstart help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "slimstart — profile-guided serverless cold-start optimization (ICDCS'25 reproduction)
+
+USAGE:
+    slimstart catalog
+    slimstart run <CODE> [--cold-starts N] [--seed S] [--json] [--iterate R] [--async-collector]
+    slimstart source <CODE> <MODULE>
+    slimstart graph <CODE> [--optimized] [--seed S]
+    slimstart trace [--seed S]
+    slimstart help
+
+Run `cargo bench -p slimstart-bench` to regenerate every paper table/figure."
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs an integer value")),
+    }
+}
+
+fn cmd_catalog() -> Result<(), String> {
+    println!(
+        "{:<9} {:<26} {:<15} {:<14} {:>6} {:>6} {:>8}",
+        "CODE", "NAME", "SUITE", "LIBRARY", "#LIBS", "#MODS", "GATE"
+    );
+    for app in catalog() {
+        println!(
+            "{:<9} {:<26} {:<15} {:<14} {:>6} {:>6} {:>8}",
+            app.code,
+            app.name,
+            app.suite.label(),
+            app.main_library,
+            app.n_libs,
+            app.n_modules,
+            if app.above_gate() { "above" } else { "below" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let code = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: slimstart run <CODE> [options]")?;
+    let entry = by_code(code).ok_or_else(|| format!("unknown catalog code `{code}`"))?;
+    let cold_starts = flag_value(args, "--cold-starts")?.unwrap_or(500) as usize;
+    let seed = flag_value(args, "--seed")?.unwrap_or(2025);
+    let json = args.iter().any(|a| a == "--json");
+    let rounds = flag_value(args, "--iterate")?.unwrap_or(1) as usize;
+    let async_collector = args.iter().any(|a| a == "--async-collector");
+
+    let built = entry.build(seed).map_err(|e| e.to_string())?;
+    let config = PipelineConfig {
+        cold_starts,
+        seed,
+        async_collector,
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(config);
+    let outcomes = pipeline
+        .run_iterative(&built.app, &entry.workload_weights(), rounds.max(1))
+        .map_err(|e| e.to_string())?;
+    let outcome = outcomes.last().expect("at least one round");
+
+    if json {
+        println!("{}", outcome_to_json(outcome));
+        return Ok(());
+    }
+
+    println!("{}", render(&outcome.report, &built.app));
+    if rounds > 1 {
+        println!("CI/CD rounds executed: {}", outcomes.len());
+    }
+    if let Some(opt) = &outcome.optimization {
+        if !opt.deferred_packages.is_empty() {
+            println!("lazy-loaded: {:?}", opt.deferred_packages);
+        }
+        if !opt.skipped.is_empty() {
+            println!("kept eager:  {:?}", opt.skipped);
+        }
+    }
+    let first = outcomes.first().expect("at least one round");
+    println!(
+        "\nbaseline : init {:>8.1} ms   e2e {:>8.1} ms   mem {:>6.1} MB",
+        first.baseline.mean_init_ms, first.baseline.mean_e2e_ms, first.baseline.peak_mem_mb
+    );
+    println!(
+        "optimized: init {:>8.1} ms   e2e {:>8.1} ms   mem {:>6.1} MB",
+        outcome.optimized.mean_init_ms, outcome.optimized.mean_e2e_ms, outcome.optimized.peak_mem_mb
+    );
+    // Cumulative speedup: round-1 baseline vs last round's deployment.
+    let speedup = slimstart::platform::metrics::Speedup::between(
+        &first.baseline,
+        &outcome.optimized,
+    );
+    println!(
+        "speedup  : lib-load {:.2}x | cold-init {:.2}x | e2e {:.2}x | p99 e2e {:.2}x | mem {:.2}x",
+        speedup.load, speedup.init, speedup.e2e, speedup.p99_e2e, speedup.mem
+    );
+    println!(
+        "paper    : init {:.2}x | e2e {:.2}x | mem {:.2}x",
+        entry.paper.init_speedup, entry.paper.e2e_speedup, entry.paper.mem_reduction
+    );
+    println!(
+        "profiler overhead: {:.2}%",
+        (outcome.profiler_overhead() - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_source(args: &[String]) -> Result<(), String> {
+    let code = args.first().ok_or("usage: slimstart source <CODE> <MODULE>")?;
+    let module_name = args.get(1).ok_or("usage: slimstart source <CODE> <MODULE>")?;
+    let entry = by_code(code).ok_or_else(|| format!("unknown catalog code `{code}`"))?;
+    let seed = flag_value(args, "--seed")?.unwrap_or(2025);
+    let built = entry.build(seed).map_err(|e| e.to_string())?;
+    let module = built
+        .app
+        .module_by_name(module_name)
+        .ok_or_else(|| format!("no module `{module_name}` in {code}"))?;
+    print!("{}", render_module(&built.app, module));
+    Ok(())
+}
+
+fn cmd_graph(args: &[String]) -> Result<(), String> {
+    let code = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: slimstart graph <CODE> [--optimized]")?;
+    let entry = by_code(code).ok_or_else(|| format!("unknown catalog code `{code}`"))?;
+    let seed = flag_value(args, "--seed")?.unwrap_or(2025);
+    let built = entry.build(seed).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--optimized") {
+        let config = PipelineConfig {
+            cold_starts: 100,
+            seed,
+            ..PipelineConfig::default()
+        };
+        let outcome = Pipeline::new(config)
+            .run(&built.app, &entry.workload_weights())
+            .map_err(|e| e.to_string())?;
+        print!(
+            "{}",
+            slimstart::appmodel::dot::import_graph_dot(&outcome.final_app)
+        );
+    } else {
+        print!("{}", slimstart::appmodel::dot::import_graph_dot(&built.app));
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let seed = flag_value(args, "--seed")?.unwrap_or(2025);
+    let trace = ProductionTrace::generate(TraceConfig::default(), seed);
+    println!(
+        "apps: {}   windows: {} x {:.0}h   multi-handler: {:.1}%",
+        trace.apps().len(),
+        trace.window_count(),
+        trace.config().window.as_secs_f64() / 3600.0,
+        trace.multi_handler_fraction() * 100.0
+    );
+    let cdf = trace.invocation_cdf_by_rank();
+    println!(
+        "invocation share: top-1 {:.1}%  top-3 {:.1}%",
+        cdf.first().copied().unwrap_or(1.0) * 100.0,
+        cdf.get(2).copied().unwrap_or(1.0) * 100.0
+    );
+    println!("\nhour  mean-dp   apps>eps");
+    for (w, (mean, frac)) in trace.delta_p_timeline(0.002).iter().enumerate() {
+        println!("{:>4}  {:.5}   {:>5.1}%", w * 12, mean, frac * 100.0);
+    }
+    Ok(())
+}

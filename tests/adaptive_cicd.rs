@@ -1,0 +1,196 @@
+//! The adaptive CI/CD loop: drift detection drives re-optimization
+//! (paper §IV-C).
+
+use slimstart::appmodel::catalog::by_code;
+use slimstart::core::adaptive::{AdaptiveDecision, AdaptiveMonitor};
+use slimstart::core::pipeline::{Pipeline, PipelineConfig};
+use slimstart::platform::PlatformConfig;
+use slimstart::prelude::*;
+use slimstart::workload::drift::DriftSchedule;
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        cold_starts: 40,
+        platform: PlatformConfig::default().without_jitter(),
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn drift_triggers_and_reoptimization_revives_needed_packages() {
+    let entry = by_code("R-GB").expect("exists");
+    let built = entry.build(61).expect("builds");
+    let pipeline = Pipeline::new(config());
+
+    // Round 1: admin dead.
+    let mix1 = vec![("handler".to_string(), 1.0), ("admin".to_string(), 0.0)];
+    let round1 = pipeline.run(&built.app, &mix1).expect("runs");
+    let deferred1 = round1
+        .optimization
+        .as_ref()
+        .expect("optimized")
+        .deferred_packages
+        .clone();
+    assert!(deferred1.iter().any(|p| p == "igraph.drawing"));
+
+    // Drifted production stream monitored online.
+    let monitor_cfg = AdaptiveConfig::default();
+    let mut monitor = AdaptiveMonitor::new(monitor_cfg, built.app.handlers().len());
+    let schedule = DriftSchedule::constant(
+        vec!["handler".to_string(), "admin".to_string()],
+        vec![1.0, 0.0],
+    )
+    .with_episode(
+        SimTime::ZERO + SimDuration::from_hours(36),
+        vec![0.6, 0.4],
+    );
+    let stream = schedule
+        .generate(&built.app, 4_000, SimDuration::from_mins(1), 71)
+        .expect("stream");
+    let mut triggered = false;
+    for inv in &stream {
+        if let Some(AdaptiveDecision::TriggerProfiling { delta }) =
+            monitor.record(inv.handler, inv.at)
+        {
+            assert!(delta > 0.002);
+            triggered = true;
+        }
+    }
+    if let Some(AdaptiveDecision::TriggerProfiling { .. }) = monitor.flush() {
+        triggered = true;
+    }
+    assert!(triggered, "the drift must trip the adaptive mechanism");
+
+    // Round 2 with the post-drift mix.
+    let mix2 = vec![("handler".to_string(), 0.6), ("admin".to_string(), 0.4)];
+    let round2 = pipeline.run(&built.app, &mix2).expect("runs");
+    let deferred2 = round2
+        .optimization
+        .as_ref()
+        .map(|o| o.deferred_packages.clone())
+        .unwrap_or_default();
+    assert!(
+        !deferred2.iter().any(|p| p == "igraph.drawing"),
+        "the now-hot drawing package must stay eager: {deferred2:?}"
+    );
+    // But genuinely dead packages remain deferred.
+    assert!(
+        deferred2.iter().any(|p| p == "igraph.compat"),
+        "still-dead packages stay deferred: {deferred2:?}"
+    );
+}
+
+#[test]
+fn stable_workload_does_not_retrigger() {
+    // A steady 90/10 mix (deterministic round-robin so the estimate is not
+    // polluted by sampling noise: at production volumes the per-window
+    // estimator concentrates, which is what makes eps = 0.002 usable).
+    let entry = by_code("R-GB").expect("exists");
+    let built = entry.build(67).expect("builds");
+    let monitor_cfg = AdaptiveConfig::default();
+    let mut monitor = AdaptiveMonitor::new(monitor_cfg, built.app.handlers().len());
+    let main = built.app.handler_by_name("handler").expect("exists");
+    let admin = built.app.handler_by_name("admin").expect("exists");
+    for i in 0..20_000u64 {
+        let h = if i % 10 == 0 { admin } else { main };
+        let at = SimTime::ZERO + SimDuration::from_mins(i);
+        assert_eq!(
+            monitor.record(h, at),
+            None,
+            "stable mix must never trigger"
+        );
+    }
+    monitor.flush();
+    assert_eq!(monitor.trigger_count(), 0);
+    // Windows were actually evaluated.
+    assert!(monitor.history().len() >= 10);
+}
+
+#[test]
+fn low_volume_windows_are_noisy_below_epsilon_scale() {
+    // Documented caveat: with only a few hundred requests per window the
+    // p_i(t) estimator's sampling noise exceeds eps = 0.002, so a stochastic
+    // 90/10 stream can trip the trigger spuriously. Operators either raise
+    // eps or widen the window at low volume (the paper: "the parameters can
+    // be dynamically adjusted based on observed workload characteristics").
+    let entry = by_code("R-GB").expect("exists");
+    let built = entry.build(67).expect("builds");
+    let monitor_cfg = AdaptiveConfig::default();
+    let mut monitor = AdaptiveMonitor::new(monitor_cfg, built.app.handlers().len());
+    let schedule = DriftSchedule::constant(
+        vec!["handler".to_string(), "admin".to_string()],
+        vec![0.9, 0.1],
+    );
+    let stream = schedule
+        .generate(&built.app, 20_000, SimDuration::from_mins(1), 73)
+        .expect("stream");
+    for inv in &stream {
+        monitor.record(inv.handler, inv.at);
+    }
+    monitor.flush();
+    let max_delta = monitor
+        .history()
+        .iter()
+        .map(|w| w.delta)
+        .fold(0.0_f64, f64::max);
+    // Noise floor for ~720 requests/window is ~1e-2: well above eps.
+    assert!(max_delta > 0.002 && max_delta < 0.1, "noise = {max_delta}");
+}
+
+#[test]
+fn stale_optimization_misses_newly_dead_packages() {
+    // The forward direction of drift: a package that was hot at
+    // deployment time (admin = 40% of traffic) later goes dead
+    // (admin = 0%). The stale optimization keeps loading it eagerly on
+    // every cold start; re-profiling defers it and wins.
+    use slimstart::platform::metrics::AppMetrics;
+    use slimstart::platform::platform::Platform;
+    use slimstart::workload::generator::generate;
+    use slimstart::workload::spec::WorkloadSpec;
+    use std::sync::Arc;
+
+    let entry = by_code("R-GB").expect("exists");
+    let built = entry.build(79).expect("builds");
+    let pipeline = Pipeline::new(config());
+
+    // Deployment-time mix: admin is busy, drawing is hot → kept eager.
+    let mix_then = vec![("handler".to_string(), 0.6), ("admin".to_string(), 0.4)];
+    let round1 = pipeline.run(&built.app, &mix_then).expect("runs");
+    let deferred_then = round1
+        .optimization
+        .as_ref()
+        .map(|o| o.deferred_packages.clone())
+        .unwrap_or_default();
+    assert!(
+        !deferred_then.iter().any(|p| p == "igraph.drawing"),
+        "hot drawing must stay eager at deployment time"
+    );
+
+    // Later: admin traffic vanishes; re-profile under the new mix.
+    let mix_now = vec![("handler".to_string(), 1.0), ("admin".to_string(), 0.0)];
+    let round2 = pipeline.run(&built.app, &mix_now).expect("runs");
+    assert!(round2
+        .optimization
+        .as_ref()
+        .expect("optimized")
+        .deferred_packages
+        .iter()
+        .any(|p| p == "igraph.drawing"));
+
+    // Under today's traffic, the stale deployment keeps paying drawing's
+    // init on every cold start; the fresh one does not.
+    let spec = WorkloadSpec::cold_starts_with_mix(&mix_now, 60);
+    let run = |app: Arc<slimstart::appmodel::Application>| {
+        let invs = generate(&spec, &app, 83).expect("workload");
+        let mut p = Platform::new(app, PlatformConfig::default().without_jitter(), 83);
+        AppMetrics::aggregate(p.run(&invs).expect("no faults"))
+    };
+    let stale = run(Arc::clone(&round1.final_app));
+    let fresh = run(Arc::clone(&round2.final_app));
+    assert!(
+        fresh.mean_e2e_ms < stale.mean_e2e_ms * 0.9,
+        "re-optimized {:.1}ms must clearly beat stale {:.1}ms",
+        fresh.mean_e2e_ms,
+        stale.mean_e2e_ms
+    );
+}

@@ -1,0 +1,156 @@
+//! Case-study assertions: the paper's §VI narratives must hold end to end,
+//! within bands, at evaluation scale.
+
+use slimstart::appmodel::catalog::by_code;
+use slimstart::core::detect::UsageClass;
+use slimstart::core::pipeline::{Pipeline, PipelineConfig};
+use slimstart::core::report::{import_path, render};
+
+fn run(code: &str, cold_starts: usize) -> (slimstart::appmodel::Application, slimstart::core::pipeline::PipelineOutcome) {
+    let entry = by_code(code).expect("catalog entry");
+    let built = entry.build(2025).expect("builds");
+    let outcome = Pipeline::new(PipelineConfig {
+        cold_starts,
+        seed: 2025,
+        ..PipelineConfig::default()
+    })
+    .run(&built.app, &entry.workload_weights())
+    .expect("pipeline runs");
+    (built.app, outcome)
+}
+
+#[test]
+fn rsa_case_study_table_iv() {
+    // Paper §VI-1: nltk dominates init; sem is unused; plugins-style
+    // side-effectful code survives; 1.35x init / 1.33x e2e / 1.07x memory.
+    let (app, out) = run("R-SA", 300);
+
+    let nltk = out
+        .report
+        .libraries
+        .iter()
+        .find(|l| l.name == "nltk")
+        .expect("nltk summarized");
+    assert!(
+        nltk.init_fraction > 0.60,
+        "nltk should dominate init: {:.2}",
+        nltk.init_fraction
+    );
+
+    let sem = out
+        .report
+        .findings
+        .iter()
+        .find(|f| f.package == "nltk.sem")
+        .expect("nltk.sem flagged");
+    assert_eq!(sem.class, UsageClass::Unused);
+    assert_eq!(sem.utilization, 0.0);
+    assert!(sem.deferrable);
+
+    let opt = out.optimization.as_ref().expect("optimized");
+    assert!(opt.deferred_packages.contains(&"nltk.sem".to_string()));
+
+    // Band checks vs the published 1.35x / 1.33x / 1.07x.
+    assert!((1.25..=1.45).contains(&out.speedup.load), "{}", out.speedup.load);
+    assert!((1.22..=1.42).contains(&out.speedup.e2e), "{}", out.speedup.e2e);
+    assert!((1.02..=1.12).contains(&out.speedup.mem), "{}", out.speedup.mem);
+
+    // The rendered report carries the call path into the flagged package.
+    let text = render(&out.report, &app);
+    assert!(text.contains("nltk.sem"));
+    assert!(text.contains("handler.py:"));
+}
+
+#[test]
+fn cve_case_study_table_v() {
+    // Paper §VI-2: xmlschema at 0.78% utilization / 8.27% init overhead,
+    // reached only via the SBOM branch; 1.27x / 1.20x / 1.21x results.
+    let (app, out) = run("CVE", 500);
+
+    let xml = out
+        .report
+        .findings
+        .iter()
+        .find(|f| f.package == "xmlschema")
+        .expect("xmlschema flagged");
+    assert_eq!(xml.class, UsageClass::RarelyUsed);
+    assert!(
+        xml.utilization > 0.0 && xml.utilization < 0.02,
+        "utilization {:.4} outside the rare band",
+        xml.utilization
+    );
+    assert!(
+        (0.06..=0.11).contains(&xml.init_fraction),
+        "init fraction {:.3} vs paper 0.0827",
+        xml.init_fraction
+    );
+
+    // The import path mirrors Table V's handler.py → xmlschema chain.
+    let handler_mod = app.module_by_name("handler").expect("handler");
+    let hops = import_path(&app, handler_mod, "xmlschema").expect("reachable");
+    assert_eq!(hops.first().map(|(f, _)| f.as_str()), Some("handler.py"));
+    assert!(hops.last().map(|(f, _)| f.as_str()).unwrap_or("").starts_with("xmlschema/"));
+
+    // Band checks vs the published 1.27x / 1.20x / 1.21x.
+    assert!((1.18..=1.36).contains(&out.speedup.load), "{}", out.speedup.load);
+    assert!((1.12..=1.28).contains(&out.speedup.e2e), "{}", out.speedup.e2e);
+    assert!((1.12..=1.30).contains(&out.speedup.mem), "{}", out.speedup.mem);
+}
+
+#[test]
+fn graph_bfs_motivation_table_i() {
+    // Paper §II-A: the drawing subtree is a significant share of igraph's
+    // init and disabling the non-essential subtrees gives ~1.65x library
+    // init.
+    let entry = by_code("R-GB").expect("catalog entry");
+    let built = entry.build(2025).expect("builds");
+    let app = &built.app;
+
+    let igraph = &built.libraries["igraph"];
+    let drawing = &igraph.subpackages["drawing"];
+    let lib_init: f64 = app
+        .library(igraph.id)
+        .modules()
+        .iter()
+        .map(|m| app.module(*m).init_cost().as_millis_f64())
+        .sum();
+    let drawing_init: f64 = drawing
+        .modules
+        .iter()
+        .map(|m| app.module(*m).init_cost().as_millis_f64())
+        .sum();
+    let share = drawing_init / lib_init;
+    assert!(
+        (0.18..=0.40).contains(&share),
+        "drawing share {share:.2} vs paper ~0.37"
+    );
+
+    let (_, out) = run("R-GB", 200);
+    // Library-loading improvement ~1.65x-1.71x.
+    assert!(
+        (1.55..=1.85).contains(&out.speedup.load),
+        "load speedup {:.2}",
+        out.speedup.load
+    );
+}
+
+#[test]
+fn seventeen_of_twenty_two_with_inefficiencies() {
+    // The paper's headline detection count, at a reduced scale for test
+    // time: the gate decision is scale-independent.
+    let mut detected = 0;
+    for entry in slimstart::appmodel::catalog::catalog() {
+        let built = entry.build(2025).expect("builds");
+        let out = Pipeline::new(PipelineConfig {
+            cold_starts: 8,
+            seed: 2025,
+            ..PipelineConfig::default()
+        })
+        .run(&built.app, &entry.workload_weights())
+        .expect("runs");
+        if out.report.gate_passed && !out.report.findings.is_empty() {
+            detected += 1;
+        }
+    }
+    assert_eq!(detected, 17);
+}

@@ -1,0 +1,151 @@
+//! SlimStart vs the FaaSLight-style static baseline (paper Q2).
+//!
+//! Static analysis must keep anything reachable from *any* entry point, so
+//! workload-dead and rarely-used libraries survive it; SlimStart's dynamic
+//! profiling removes them too. These tests verify the dominance the paper
+//! reports — and that the static baseline remains *safe* (conservative).
+
+use std::sync::Arc;
+
+use slimstart::appmodel::catalog::{by_code, catalog};
+use slimstart::core::pipeline::{Pipeline, PipelineConfig};
+use slimstart::faaslight::strip_unreachable;
+use slimstart::platform::metrics::AppMetrics;
+use slimstart::platform::platform::{Platform, PlatformConfig};
+use slimstart::workload::generator::generate;
+use slimstart::workload::spec::WorkloadSpec;
+
+fn run_app(
+    app: Arc<slimstart::appmodel::Application>,
+    mix: &[(String, f64)],
+    colds: usize,
+    seed: u64,
+) -> AppMetrics {
+    let spec = WorkloadSpec::cold_starts_with_mix(mix, colds);
+    let invs = generate(&spec, &app, seed).expect("workload");
+    let mut platform = Platform::new(app, PlatformConfig::default().without_jitter(), seed);
+    AppMetrics::aggregate(platform.run(&invs).expect("no faults"))
+}
+
+#[test]
+fn slimstart_beats_static_analysis_on_workload_skewed_apps() {
+    for code in ["R-GB", "R-DV", "FL-SA", "FL-TWM", "SensorTD"] {
+        let entry = by_code(code).expect("exists");
+        let built = entry.build(41).expect("builds");
+        let mix = entry.workload_weights();
+
+        let baseline = run_app(Arc::new(built.app.clone()), &mix, 40, 9);
+
+        // FaaSLight: static strip, then measure.
+        let stripped = strip_unreachable(&built.app);
+        let static_metrics = run_app(Arc::new(stripped.app), &mix, 40, 9);
+
+        // SlimStart: full pipeline.
+        let out = Pipeline::new(PipelineConfig {
+            cold_starts: 40,
+            platform: PlatformConfig::default().without_jitter(),
+            ..PipelineConfig::default()
+        })
+        .run(&built.app, &mix)
+        .expect("pipeline runs");
+
+        let static_speedup = baseline.mean_e2e_ms / static_metrics.mean_e2e_ms;
+        assert!(
+            out.speedup.e2e > static_speedup,
+            "{code}: SlimStart {:.2}x must beat static {:.2}x",
+            out.speedup.e2e,
+            static_speedup
+        );
+        assert!(
+            static_speedup >= 1.0,
+            "{code}: static slimming must not regress"
+        );
+    }
+}
+
+#[test]
+fn static_baseline_is_safe_under_every_entry_point() {
+    // Even when the "dead" handlers receive traffic, FaaSLight's
+    // conservative analysis must never have stripped something they need.
+    for entry in catalog().into_iter().filter(|e| e.above_gate()).take(8) {
+        let built = entry.build(43).expect("builds");
+        let stripped = strip_unreachable(&built.app);
+        let mut mix = entry.workload_weights();
+        for w in &mut mix {
+            if w.1 == 0.0 {
+                w.1 = 0.5;
+            }
+        }
+        // Must not fault.
+        let _ = run_app(Arc::new(stripped.app), &mix, 30, 13);
+    }
+}
+
+#[test]
+fn static_analysis_misses_workload_dead_packages() {
+    // The crux of Observation 2: the drawing package is reachable from the
+    // admin handler, so FaaSLight keeps it; SlimStart defers it.
+    let entry = by_code("R-GB").expect("exists");
+    let built = entry.build(47).expect("builds");
+
+    let stripped = strip_unreachable(&built.app);
+    assert!(
+        !stripped
+            .stripped_packages
+            .iter()
+            .any(|p| p.contains("drawing")),
+        "static analysis must keep the reachable drawing package"
+    );
+    assert!(
+        stripped.stripped_packages.iter().any(|p| p == "igraph.compat"),
+        "static analysis should remove the truly unreachable package"
+    );
+
+    let out = Pipeline::new(PipelineConfig {
+        cold_starts: 40,
+        platform: PlatformConfig::default().without_jitter(),
+        ..PipelineConfig::default()
+    })
+    .run(&built.app, &entry.workload_weights())
+    .expect("runs");
+    let opt = out.optimization.expect("optimized");
+    assert!(
+        opt.deferred_packages.iter().any(|p| p == "igraph.drawing"),
+        "dynamic profiling must defer the workload-dead package"
+    );
+}
+
+#[test]
+fn indirect_calls_pin_libraries_for_static_analysis_only() {
+    // FWB-MS uses an indirect call into an extra library; static analysis
+    // must keep that library wholesale, while SlimStart profiles actual use.
+    let entry = by_code("FWB-MS").expect("exists");
+    assert!(entry.indirect_extra);
+    let built = entry.build(53).expect("builds");
+    let analysis = slimstart::faaslight::StaticAnalysis::analyze(&built.app);
+    let pinned = built
+        .app
+        .libraries()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| analysis.is_pinned(slimstart::appmodel::LibraryId::from_index(*i)))
+        .count();
+    assert!(pinned >= 1, "indirect dispatch must pin at least one library");
+}
+
+#[test]
+fn static_savings_match_declared_static_dead_share() {
+    for code in ["FL-PMP", "FL-SN", "FL-PWM", "FL-TWM", "FL-SA"] {
+        let entry = by_code(code).expect("exists");
+        let built = entry.build(59).expect("builds");
+        let handler = built.app.module_by_name("handler").expect("handler");
+        let total = built.app.eager_init_cost(handler);
+        let stripped = strip_unreachable(&built.app);
+        let frac = stripped.removed_init.ratio(total);
+        let declared = entry.frac_static_dead;
+        assert!(
+            (frac - declared).abs() < 0.04,
+            "{code}: static removed {frac:.3}, declared {declared:.3}"
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use slimstart::appmodel::app::AppBuilder;
+use slimstart::appmodel::function::{Stmt, StmtKind};
+use slimstart::appmodel::synth::{
+    AppBlueprint, HandlerBlueprint, LibraryBlueprint, SubpackageBlueprint, UseSpec,
+};
+use slimstart::appmodel::{FunctionId, ImportMode, ModuleId};
+use slimstart::core::cct::Cct;
+use slimstart::core::profile::SampleRecord;
+use slimstart::core::utilization::Utilization;
+use slimstart::pyrt::process::Process;
+use slimstart::pyrt::stack::{Frame, FrameKind};
+use slimstart::simcore::dist::{Empirical, Zipf};
+use slimstart::simcore::rng::SimRng;
+use slimstart::simcore::stats::Percentiles;
+use slimstart::simcore::time::SimDuration;
+
+// ------------------------------------------------------------------ simcore
+
+proptest! {
+    #[test]
+    fn percentiles_match_naive_sort(values in prop::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..=1.0) {
+        let p: Percentiles = values.iter().copied().collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert_eq!(p.quantile(q), Some(sorted[rank - 1]));
+    }
+
+    #[test]
+    fn zipf_pmf_always_normalizes(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_sampling_stays_in_support(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let e = Empirical::new(&weights).unwrap();
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            let k = e.sample(&mut rng);
+            prop_assert!(k < weights.len());
+            // Zero-weight categories never drawn.
+            prop_assert!(weights[k] > 0.0);
+        }
+    }
+}
+
+// --------------------------------------------------------------------- cct
+
+fn arbitrary_paths(seed: u64, n: usize) -> Vec<(Vec<Frame>, bool)> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            let depth = 1 + rng.next_below(6);
+            let path: Vec<Frame> = (0..depth)
+                .map(|_| Frame {
+                    kind: FrameKind::Call(FunctionId::from_index(rng.next_below(12))),
+                    line: 1 + rng.next_below(5) as u32,
+                })
+                .collect();
+            (path, rng.chance(0.4))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn cct_conserves_samples(seed in 0u64..500, n in 1usize..300) {
+        let paths = arbitrary_paths(seed, n);
+        let mut cct = Cct::new();
+        for (path, is_init) in &paths {
+            cct.insert(path, *is_init);
+        }
+        prop_assert_eq!(cct.total_samples(), n as u64);
+        let inclusive = cct.inclusive();
+        // Escalation conserves mass at the root…
+        prop_assert_eq!(inclusive[0], n as u64);
+        // …and inclusive >= self everywhere.
+        for (i, node) in cct.nodes().iter().enumerate() {
+            prop_assert!(inclusive[i] >= node.self_samples);
+        }
+        // Parent inclusive >= child inclusive.
+        for (i, node) in cct.nodes().iter().enumerate().skip(1) {
+            let parent = node.parent.unwrap();
+            prop_assert!(inclusive[parent] >= inclusive[i]);
+        }
+    }
+
+    #[test]
+    fn cct_merge_conserves(seed_a in 0u64..100, seed_b in 100u64..200, n in 1usize..100) {
+        let a_paths = arbitrary_paths(seed_a, n);
+        let b_paths = arbitrary_paths(seed_b, n);
+        let mut a = Cct::new();
+        for (p, i) in &a_paths {
+            a.insert(p, *i);
+        }
+        let mut b = Cct::new();
+        for (p, i) in &b_paths {
+            b.insert(p, *i);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.total_samples(), 2 * n as u64);
+        let init_total: u64 = merged.nodes().iter().map(|nd| nd.self_init_samples).sum();
+        let expected: usize = a_paths.iter().chain(&b_paths).filter(|(_, i)| *i).count();
+        prop_assert_eq!(init_total, expected as u64);
+    }
+}
+
+// ------------------------------------------------------------- utilization
+
+proptest! {
+    #[test]
+    fn utilization_is_bounded(seed in 0u64..300, n in 0usize..200) {
+        // One app-module function, one library function.
+        let mut b = AppBuilder::new("t");
+        let lib = b.add_library("lib");
+        let hm = b.add_app_module("handler", SimDuration::ZERO, 0);
+        let lm = b.add_library_module("lib", SimDuration::ZERO, 0, false, lib);
+        b.add_import(hm, lm, 2, ImportMode::Global).unwrap();
+        let f_lib = b.add_function("f", lm, 1, vec![]);
+        let f_main = b.add_function("main", hm, 1, vec![]);
+        b.add_handler("main", f_main);
+        let app = b.finish().unwrap();
+
+        let mut rng = SimRng::seed_from(seed);
+        let samples: Vec<SampleRecord> = (0..n)
+            .map(|_| {
+                let in_lib = rng.chance(0.5);
+                SampleRecord {
+                    path: vec![Frame {
+                        kind: FrameKind::Call(if in_lib { f_lib } else { f_main }),
+                        line: 1,
+                    }],
+                    is_init: rng.chance(0.3),
+                }
+            })
+            .collect();
+        let u = Utilization::from_samples(samples.iter(), &app);
+        for v in u.by_package.values() {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        for v in &u.by_library {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        prop_assert!(u.total_runtime_samples as usize <= n);
+    }
+}
+
+// ------------------------------------------------------------------- pyrt
+
+/// A randomized three-subpackage blueprint for loader/optimizer properties.
+fn random_blueprint(seed: u64) -> AppBlueprint {
+    let mut rng = SimRng::seed_from(seed);
+    let hot_share = 0.3 + rng.next_f64() * 0.4;
+    let dead_share = (1.0 - hot_share) * (0.3 + rng.next_f64() * 0.5);
+    let rare_share = 1.0 - hot_share - dead_share;
+    let sub = |name: &str, share: f64, api: usize| SubpackageBlueprint {
+        name: name.to_string(),
+        module_share: share,
+        init_share: share,
+        mem_share: share,
+        side_effectful: false,
+        api_functions: api,
+        api_call_cost: SimDuration::from_millis(3),
+    };
+    AppBlueprint {
+        name: format!("rand-{seed}"),
+        app_init: SimDuration::from_millis(1),
+        app_mem_kb: 64,
+        libraries: vec![LibraryBlueprint {
+            name: "randlib".to_string(),
+            modules: 20 + rng.next_below(60),
+            avg_depth: 3.0 + rng.next_f64() * 3.0,
+            init_total: SimDuration::from_millis(200 + rng.next_below(800) as u64),
+            mem_total_kb: 10_000,
+            subpackages: vec![
+                sub("hot", hot_share, 2),
+                sub("dead", dead_share, 1),
+                sub("rare", rare_share, 1),
+            ],
+        }],
+        handlers: vec![
+            HandlerBlueprint {
+                name: "main".to_string(),
+                local_work: SimDuration::from_millis(10),
+                uses: vec![
+                    UseSpec {
+                        library: "randlib".to_string(),
+                        subpackage: "hot".to_string(),
+                        api_index: 0,
+                        calls: 2,
+                        branch_probability: None,
+                        indirect: false,
+                    },
+                    UseSpec {
+                        library: "randlib".to_string(),
+                        subpackage: "rare".to_string(),
+                        api_index: 0,
+                        calls: 1,
+                        branch_probability: Some(0.01),
+                        indirect: false,
+                    },
+                ],
+            },
+            HandlerBlueprint {
+                name: "admin".to_string(),
+                local_work: SimDuration::from_millis(5),
+                uses: vec![UseSpec {
+                    library: "randlib".to_string(),
+                    subpackage: "dead".to_string(),
+                    api_index: 0,
+                    calls: 1,
+                    branch_probability: None,
+                    indirect: false,
+                }],
+            },
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn loader_is_idempotent_and_cost_exact(seed in 0u64..10_000) {
+        let built = slimstart::appmodel::synth::build_app(&random_blueprint(seed), seed).unwrap();
+        let app = std::sync::Arc::new(built.app);
+        let mut p = Process::new(std::sync::Arc::clone(&app), 1.0);
+        let root = app.module_by_name("handler").unwrap();
+        let init = p.cold_start(root).unwrap();
+        // The loader pays exactly the structural eager cost.
+        prop_assert_eq!(init, app.eager_init_cost(root));
+        // Second cold start is free (everything cached).
+        let again = p.cold_start(root).unwrap();
+        prop_assert_eq!(again, SimDuration::ZERO);
+        prop_assert_eq!(p.load_events().len(), app.eager_load_set(root).len());
+    }
+
+    #[test]
+    fn pipeline_never_faults_and_never_regresses(seed in 0u64..2_000) {
+        let built = slimstart::appmodel::synth::build_app(&random_blueprint(seed), seed).unwrap();
+        let mix = vec![("main".to_string(), 1.0), ("admin".to_string(), 0.0)];
+        let config = slimstart::core::pipeline::PipelineConfig {
+            cold_starts: 12,
+            platform: slimstart::platform::PlatformConfig::default().without_jitter(),
+            ..Default::default()
+        };
+        let out = slimstart::core::pipeline::Pipeline::new(config)
+            .run(&built.app, &mix)
+            .unwrap();
+        prop_assert!(out.speedup.e2e >= 0.999, "e2e regressed: {}", out.speedup.e2e);
+        prop_assert!(out.speedup.init >= 0.999, "init regressed: {}", out.speedup.init);
+        // Optimized app still serves the admin handler correctly.
+        let mut p = Process::new(std::sync::Arc::clone(&out.final_app), 1.0);
+        let root = out.final_app.module_by_name("handler").unwrap();
+        p.cold_start(root).unwrap();
+        let admin = out.final_app.handler_by_name("admin").unwrap();
+        prop_assert!(p.invoke(admin, &mut SimRng::seed_from(seed)).is_ok());
+    }
+}
+
+// -------------------------------------------------------- interpreter paths
+
+proptest! {
+    #[test]
+    fn branch_statistics_match_probability(p in 0.0f64..=1.0, seed in 0u64..200) {
+        let mut b = AppBuilder::new("t");
+        let m = b.add_app_module("handler", SimDuration::ZERO, 0);
+        let f = b.add_function(
+            "main",
+            m,
+            1,
+            vec![Stmt {
+                line: 2,
+                kind: StmtKind::Branch {
+                    probability: p,
+                    body: vec![Stmt {
+                        line: 3,
+                        kind: StmtKind::Work(SimDuration::from_millis(1)),
+                    }],
+                },
+            }],
+        );
+        let h = b.add_handler("main", f);
+        let app = std::sync::Arc::new(b.finish().unwrap());
+        let mut proc = Process::new(std::sync::Arc::clone(&app), 1.0);
+        let mut rng = SimRng::seed_from(seed);
+        let n = 300;
+        let mut fired = 0u32;
+        for _ in 0..n {
+            let out = proc.invoke(h, &mut rng).unwrap();
+            if !out.exec_time.is_zero() {
+                fired += 1;
+            }
+        }
+        let rate = f64::from(fired) / f64::from(n);
+        prop_assert!((rate - p).abs() < 0.15, "rate {rate} vs p {p}");
+    }
+}
+
+// ----------------------------------------------------- structural soundness
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn eager_set_is_closed_under_global_imports(seed in 0u64..10_000) {
+        let built = slimstart::appmodel::synth::build_app(&random_blueprint(seed), seed).unwrap();
+        let app = built.app;
+        let root = app.module_by_name("handler").unwrap();
+        let set: std::collections::HashSet<ModuleId> =
+            app.eager_load_set(root).into_iter().collect();
+        for m in &set {
+            for decl in app.imports_of(*m) {
+                if decl.mode.is_global() {
+                    prop_assert!(
+                        set.contains(&decl.target),
+                        "eager set must be transitively closed"
+                    );
+                }
+            }
+        }
+    }
+}
