@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository CI: build, test, format and lint gates.
+#
+# Mirrors what the hosted pipeline runs; keep the steps in sync with
+# README.md's Testing section.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

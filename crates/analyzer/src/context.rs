@@ -1,0 +1,160 @@
+//! Shared analysis context: precomputed views over the application model.
+//!
+//! The context carries the package tree and the *parent-aware* eager-load
+//! closure used by several passes. The closure mirrors the runtime
+//! (`pyrt`) exactly: loading a module first loads its ancestor packages —
+//! whether or not an import declaration names them — and then executes its
+//! global imports transitively. `Application::eager_load_set` follows
+//! import edges only, so it misses implicitly-loaded parents; safety
+//! verification must not.
+
+use slimstart_appmodel::library::PackageTree;
+use slimstart_appmodel::{Application, ImportDecl, ModuleId};
+
+use crate::usage::ObservedUsage;
+
+/// Precomputed state shared by all passes of one analyzer run.
+pub struct AnalysisContext<'a> {
+    /// The application under analysis.
+    pub app: &'a Application,
+    /// Its package tree.
+    pub tree: PackageTree,
+    /// Profile-observed usage, when a profile is available (required by the
+    /// over-approximation auditor; ignored by the structural passes).
+    pub usage: Option<&'a ObservedUsage>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Builds the context for `app`.
+    pub fn new(app: &'a Application, usage: Option<&'a ObservedUsage>) -> AnalysisContext<'a> {
+        AnalysisContext {
+            app,
+            tree: app.package_tree(),
+            usage,
+        }
+    }
+
+    /// The union of [`eager_closure`] over every handler's module — the set
+    /// of modules the runtime loads at cold start, for any entry point.
+    pub fn eager_closure_all_handlers(&self) -> Vec<bool> {
+        eager_closure_all_handlers(self.app, |_, decl| decl.mode.is_global())
+    }
+}
+
+/// Parent-aware eager-load closure from `root`, where `is_global` decides
+/// whether an import edge participates (pass the declaration's real mode to
+/// model the app as written, or override edges to simulate a hypothetical
+/// deferral without cloning the application).
+///
+/// Returns one flag per module index.
+pub fn eager_closure<F>(app: &Application, root: ModuleId, is_global: F) -> Vec<bool>
+where
+    F: Fn(ModuleId, &ImportDecl) -> bool,
+{
+    let mut loaded = vec![false; app.modules().len()];
+    let mut stack = vec![root];
+    while let Some(m) = stack.pop() {
+        if loaded[m.index()] {
+            continue;
+        }
+        loaded[m.index()] = true;
+        // Ancestor packages load first, exactly as the runtime's
+        // load-with-parents does — even without an import edge to them.
+        if let Some(parent) = app.module(m).parent_package() {
+            if let Some(p) = app.module_by_name(parent) {
+                if !loaded[p.index()] {
+                    stack.push(p);
+                }
+            }
+        }
+        for decl in app.imports_of(m) {
+            if is_global(m, decl) && !loaded[decl.target.index()] {
+                stack.push(decl.target);
+            }
+        }
+    }
+    loaded
+}
+
+/// Union of [`eager_closure`] over every handler's module.
+pub fn eager_closure_all_handlers<F>(app: &Application, is_global: F) -> Vec<bool>
+where
+    F: Fn(ModuleId, &ImportDecl) -> bool,
+{
+    let mut loaded = vec![false; app.modules().len()];
+    for handler in app.handlers() {
+        let root = app.handler_module(
+            app.handler_by_name(handler.name())
+                .expect("handler exists by construction"),
+        );
+        for (i, flag) in eager_closure(app, root, &is_global).iter().enumerate() {
+            if *flag {
+                loaded[i] = true;
+            }
+        }
+    }
+    loaded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimstart_appmodel::app::AppBuilder;
+    use slimstart_appmodel::ImportMode;
+    use slimstart_simcore::time::SimDuration;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    /// handler imports lib.sub.deep directly; lib and lib.sub have no
+    /// import edges pointing at them at all.
+    fn app() -> Application {
+        let mut b = AppBuilder::new("t");
+        let lib = b.add_library("lib");
+        let h = b.add_app_module("handler", ms(1), 0);
+        let _root = b.add_library_module("lib", ms(5), 0, true, lib);
+        let _sub = b.add_library_module("lib.sub", ms(2), 0, false, lib);
+        let deep = b.add_library_module("lib.sub.deep", ms(3), 0, false, lib);
+        b.add_import(h, deep, 2, ImportMode::Global).unwrap();
+        let f = b.add_function("main", h, 4, vec![]);
+        b.add_handler("main", f);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn closure_includes_implicit_parents() {
+        let app = app();
+        let h = app.module_by_name("handler").unwrap();
+        let closure = eager_closure(&app, h, |_, d| d.mode.is_global());
+        for name in ["handler", "lib", "lib.sub", "lib.sub.deep"] {
+            let m = app.module_by_name(name).unwrap();
+            assert!(closure[m.index()], "{name} must be in the eager closure");
+        }
+        // The import-edge-only closure misses the parents — the exact gap
+        // this module exists to close.
+        let edge_only = app.eager_load_set(h);
+        let root = app.module_by_name("lib").unwrap();
+        assert!(!edge_only.contains(&root));
+    }
+
+    #[test]
+    fn deferred_override_removes_subtree() {
+        let app = app();
+        let h = app.module_by_name("handler").unwrap();
+        let deep = app.module_by_name("lib.sub.deep").unwrap();
+        let closure = eager_closure(&app, h, |_, d| d.mode.is_global() && d.target != deep);
+        assert!(closure[h.index()]);
+        for name in ["lib", "lib.sub", "lib.sub.deep"] {
+            let m = app.module_by_name(name).unwrap();
+            assert!(!closure[m.index()], "{name} must leave the closure");
+        }
+    }
+
+    #[test]
+    fn all_handlers_union() {
+        let app = app();
+        let loaded = AnalysisContext::new(&app, None).eager_closure_all_handlers();
+        assert_eq!(loaded.iter().filter(|x| **x).count(), 4);
+    }
+}

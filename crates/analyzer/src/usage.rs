@@ -1,0 +1,42 @@
+//! Profile-observed usage, as the analyzer consumes it.
+//!
+//! The over-approximation auditor diffs *static* reachability against what
+//! the dynamic profile actually saw. The profiler lives above this crate
+//! (in `slimstart-core`), so the analyzer defines its own minimal view and
+//! the profiler converts into it — keeping the dependency arrow pointing
+//! the right way.
+
+use std::collections::BTreeMap;
+
+/// Package-granular usage observed during a profiling run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObservedUsage {
+    /// How many sampled invocations the profile covers.
+    pub total_runtime_samples: u64,
+    /// Fraction of invocations that used each package subtree, keyed by
+    /// dotted package path (e.g. `nltk.sem`). Absent paths were never used.
+    pub by_package: BTreeMap<String, f64>,
+}
+
+impl ObservedUsage {
+    /// Observed use fraction for a package path; 0.0 when never observed.
+    pub fn package(&self, path: &str) -> f64 {
+        self.by_package.get(path).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_package_reads_as_unused() {
+        let mut usage = ObservedUsage {
+            total_runtime_samples: 100,
+            by_package: BTreeMap::new(),
+        };
+        usage.by_package.insert("lib.hot".into(), 0.9);
+        assert_eq!(usage.package("lib.hot"), 0.9);
+        assert_eq!(usage.package("lib.cold"), 0.0);
+    }
+}

@@ -8,6 +8,7 @@
 //! hot overall but carries cold subtrees (the igraph-drawing pattern of
 //! Table I).
 
+use slimstart_analyzer::{verify_deferral, SafetyViolation};
 use slimstart_appmodel::{Application, LibraryId};
 use slimstart_simcore::time::SimDuration;
 
@@ -26,11 +27,45 @@ pub enum UsageClass {
 }
 
 /// Why the optimizer will not defer a flagged package.
+///
+/// Each variant corresponds to one violation class of the
+/// [`slimstart_analyzer`] deferral-safety verifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SkipReason {
     /// The package's top level performs observable side effects; moving its
     /// execution point would change program behaviour.
     SideEffects,
+    /// A side-effectful *ancestor* package outside the subtree loads
+    /// eagerly only through the boundary imports being deferred.
+    ParentSideEffects,
+    /// A function touches an attribute of the package before the first call
+    /// that would trigger the deferred import.
+    ImportTimeTouch,
+    /// Deferring the boundary imports would close a cycle among deferred
+    /// import edges.
+    DeferredCycle,
+}
+
+impl SkipReason {
+    /// Short human-readable label, used by report rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            SkipReason::SideEffects => "side effects",
+            SkipReason::ParentSideEffects => "parent side effects",
+            SkipReason::ImportTimeTouch => "import-time touch",
+            SkipReason::DeferredCycle => "deferred-import cycle",
+        }
+    }
+
+    /// Maps a verifier violation to the matching skip reason.
+    pub fn from_violation(violation: &SafetyViolation) -> SkipReason {
+        match violation {
+            SafetyViolation::SideEffectfulModule { .. } => SkipReason::SideEffects,
+            SafetyViolation::ParentSideEffects { .. } => SkipReason::ParentSideEffects,
+            SafetyViolation::ImportTimeTouch { .. } => SkipReason::ImportTimeTouch,
+            SafetyViolation::DeferredCycle { .. } => SkipReason::DeferredCycle,
+        }
+    }
 }
 
 /// One flagged package.
@@ -185,7 +220,7 @@ fn descend(
 ) {
     let util = utilization.package(package);
     if qualifies(util, breakdown.package_init_fraction(package), config) {
-        findings.push(make_finding(app, tree, package, library, util, breakdown));
+        findings.push(make_finding(app, package, library, util, breakdown));
         return; // whole subtree flagged; no need to descend further
     }
     if depth >= config.max_depth {
@@ -210,16 +245,17 @@ fn descend(
 
 fn make_finding(
     app: &Application,
-    tree: &slimstart_appmodel::library::PackageTree,
     package: &str,
     library: LibraryId,
     utilization: f64,
     breakdown: &InitBreakdown,
 ) -> Finding {
-    let side_effectful = tree
-        .modules_under(package)
-        .iter()
-        .any(|m| app.module(*m).side_effectful());
+    // The deferral-safety verifier replaces the old single side-effect
+    // subtree scan: it additionally proves parent-package safety, checks
+    // import-time touches and rejects deferred-import cycles.
+    let skip_reason = verify_deferral(app, package)
+        .err()
+        .map(|v| SkipReason::from_violation(&v));
     Finding {
         package: package.to_string(),
         library,
@@ -235,8 +271,8 @@ fn make_finding(
             .copied()
             .unwrap_or(SimDuration::ZERO),
         init_fraction: breakdown.package_init_fraction(package),
-        deferrable: !side_effectful,
-        skip_reason: side_effectful.then_some(SkipReason::SideEffects),
+        deferrable: skip_reason.is_none(),
+        skip_reason,
     }
 }
 
@@ -311,10 +347,7 @@ mod tests {
         Utilization {
             total_runtime_samples: total,
             by_library: vec![],
-            by_package: pairs
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
+            by_package: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             by_module: HashMap::new(),
         }
     }
@@ -340,7 +373,10 @@ mod tests {
         let report = detect(&app, &bd, &util, &config());
         assert!(report.gate_passed);
         let names: Vec<&str> = report.findings.iter().map(|f| f.package.as_str()).collect();
-        assert_eq!(names, vec!["pandas.plotting", "xmlschema", "pandas.plugins"]);
+        assert_eq!(
+            names,
+            vec!["pandas.plotting", "xmlschema", "pandas.plugins"]
+        );
         let plotting = &report.findings[0];
         assert_eq!(plotting.class, UsageClass::Unused);
         assert!(plotting.deferrable);

@@ -53,7 +53,11 @@ pub fn report_to_json(report: &InefficiencyReport) -> String {
         "\"total_init_ms\":{},",
         num(report.total_init.as_millis_f64())
     );
-    let _ = write!(out, "\"e2e_mean_ms\":{},", num(report.e2e_mean.as_millis_f64()));
+    let _ = write!(
+        out,
+        "\"e2e_mean_ms\":{},",
+        num(report.e2e_mean.as_millis_f64())
+    );
     out.push_str("\"libraries\":[");
     for (i, lib) in report.libraries.iter().enumerate() {
         if i > 0 {
@@ -120,13 +124,18 @@ pub fn speedup_to_json(s: &Speedup) -> String {
     )
 }
 
-/// Serializes a full [`PipelineOutcome`] summary (report, metrics, edits).
+/// Serializes a full [`PipelineOutcome`] summary (report, metrics, edits,
+/// pre-deployment analysis).
 pub fn outcome_to_json(outcome: &PipelineOutcome) -> String {
     let mut out = String::new();
     out.push('{');
     let _ = write!(out, "\"report\":{},", report_to_json(&outcome.report));
     let _ = write!(out, "\"baseline\":{},", metrics_to_json(&outcome.baseline));
-    let _ = write!(out, "\"optimized\":{},", metrics_to_json(&outcome.optimized));
+    let _ = write!(
+        out,
+        "\"optimized\":{},",
+        metrics_to_json(&outcome.optimized)
+    );
     let _ = write!(out, "\"speedup\":{},", speedup_to_json(&outcome.speedup));
     let _ = write!(
         out,
@@ -150,7 +159,9 @@ pub fn outcome_to_json(outcome: &PipelineOutcome) -> String {
             );
         }
     }
-    out.push_str("]}");
+    out.push_str("],");
+    let _ = write!(out, "\"pre_deploy\":{}", outcome.pre_deploy.render_json());
+    out.push('}');
     out
 }
 
@@ -198,14 +209,8 @@ mod tests {
         assert!(json.contains("\"class\":\"unused\""));
         assert!(json.contains("\"deferrable\":true"));
         // Balanced braces and brackets (cheap well-formedness check).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
-        assert_eq!(
-            json.matches('[').count(),
-            json.matches(']').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]
@@ -226,8 +231,8 @@ mod tests {
 
     #[test]
     fn metrics_json_contains_fields() {
-        use slimstart_platform::invocation::InvocationRecord;
         use slimstart_appmodel::HandlerId;
+        use slimstart_platform::invocation::InvocationRecord;
         use slimstart_simcore::time::SimTime;
         let rec = InvocationRecord {
             at: SimTime::ZERO,

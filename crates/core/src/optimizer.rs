@@ -7,10 +7,14 @@
 //! untouched: when the deferred package finally loads, its own subtree loads
 //! with it, preserving Python semantics.
 //!
-//! Safety: packages containing side-effectful modules are never deferred
-//! (they arrive pre-marked non-deferrable by the detector, and the optimizer
-//! double-checks), so the transformation preserves observable behaviour.
+//! Safety: before every deferral the optimizer consults the
+//! [`slimstart_analyzer`] deferral-safety verifier against the live
+//! application — side-effectful subtrees, side-effectful implicit parents,
+//! import-time touches and deferred-import cycles are all refused — so the
+//! transformation preserves observable behaviour even when the detector's
+//! report is stale or wrong.
 
+use slimstart_analyzer::{boundary_imports, verify_deferral};
 use slimstart_appmodel::source::CodeEdit;
 use slimstart_appmodel::{Application, FunctionId, ImportMode, ModuleId};
 
@@ -73,13 +77,11 @@ pub fn optimize(app: &Application, report: &InefficiencyReport) -> OptimizationO
         }
         // Defence in depth: re-verify safety against the live application
         // rather than trusting the report blindly.
-        let tree = app.package_tree();
-        let unsafe_module = tree
-            .modules_under(&finding.package)
-            .iter()
-            .any(|m| app.module(*m).side_effectful());
-        if unsafe_module {
-            skipped.push((finding.package.clone(), SkipReason::SideEffects));
+        if let Err(violation) = verify_deferral(app, &finding.package) {
+            skipped.push((
+                finding.package.clone(),
+                SkipReason::from_violation(&violation),
+            ));
             continue;
         }
 
@@ -100,18 +102,6 @@ pub fn optimize(app: &Application, report: &InefficiencyReport) -> OptimizationO
         deferred_packages,
         skipped,
     }
-}
-
-/// Global imports crossing into `package` from outside it.
-fn boundary_imports(app: &Application, package: &str) -> Vec<(ModuleId, ModuleId, u32)> {
-    app.all_imports()
-        .filter(|(importer, decl)| {
-            decl.mode.is_global()
-                && app.module(decl.target).in_package(package)
-                && !app.module(*importer).in_package(package)
-        })
-        .map(|(importer, decl)| (importer, decl.target, decl.line))
-        .collect()
 }
 
 /// Finds a function that (transitively) calls into the deferred `package`,
@@ -312,10 +302,7 @@ mod tests {
         let app = app();
         let _ = optimize(&app, &report(vec![finding("nltk.sem", true)]));
         let root = app.module_by_name("nltk").unwrap();
-        assert!(app
-            .imports_of(root)
-            .iter()
-            .all(|d| d.mode.is_global()));
+        assert!(app.imports_of(root).iter().all(|d| d.mode.is_global()));
     }
 
     #[test]

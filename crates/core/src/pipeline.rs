@@ -13,7 +13,10 @@
 //! 4. **Analyze** — build the CCT, the hierarchical init breakdown and the
 //!    utilization metric; detect inefficiencies;
 //! 5. **Optimize** — rewrite flagged global imports into deferred imports;
-//! 6. **Redeploy & measure** — run the optimized application and compute
+//! 6. **Pre-deployment gate** — run the [`slimstart_analyzer`] pass
+//!    framework over the artifact about to ship; error-severity findings
+//!    (an unsafe deployed deferral) roll the deployment back to baseline;
+//! 7. **Redeploy & measure** — run the optimized application and compute
 //!    speedups.
 
 use std::fmt;
@@ -113,7 +116,13 @@ pub struct PipelineOutcome {
     /// The detection report.
     pub report: InefficiencyReport,
     /// The code transformation, when the gate passed and findings existed.
+    /// `None` (with the baseline redeployed) when the pre-deployment
+    /// analyzer gate rejected the optimized artifact.
     pub optimization: Option<OptimizationOutcome>,
+    /// The pre-deployment static-analysis report over the artifact that was
+    /// about to ship (before any rollback), fed with profile-observed
+    /// usage. Error-severity diagnostics here caused a rollback.
+    pub pre_deploy: slimstart_analyzer::AnalysisReport,
     /// The application that ended up deployed (optimized, or the original
     /// when gated out).
     pub final_app: Arc<Application>,
@@ -193,21 +202,25 @@ impl Pipeline {
         let profiled_cfg = match &collector {
             Some(c) => {
                 let sender = c.sender();
-                cfg.platform.clone().with_observer_factory(Arc::new(move || {
-                    Box::new(SamplerAttachment::with_transport(
-                        sampler_cfg,
-                        sender.clone(),
-                    ))
-                }))
+                cfg.platform
+                    .clone()
+                    .with_observer_factory(Arc::new(move || {
+                        Box::new(SamplerAttachment::with_transport(
+                            sampler_cfg,
+                            sender.clone(),
+                        ))
+                    }))
             }
             None => {
                 let store_for_factory = Arc::clone(&store);
-                cfg.platform.clone().with_observer_factory(Arc::new(move || {
-                    Box::new(SamplerAttachment::new(
-                        sampler_cfg,
-                        Arc::clone(&store_for_factory),
-                    ))
-                }))
+                cfg.platform
+                    .clone()
+                    .with_observer_factory(Arc::new(move || {
+                        Box::new(SamplerAttachment::new(
+                            sampler_cfg,
+                            Arc::clone(&store_for_factory),
+                        ))
+                    }))
             }
         };
         let mut profiling_platform =
@@ -243,10 +256,20 @@ impl Pipeline {
             (None, Arc::clone(&base_app))
         };
 
-        let optimized = if optimization
-            .as_ref()
-            .is_some_and(|o| !o.edits.is_empty())
-        {
+        // 5b. Pre-deployment gate: the analyzer audits the artifact about
+        // to ship, with the profile's observed usage. Error-severity
+        // findings mean the deployment would be unsafe — roll back to the
+        // baseline rather than ship it.
+        let observed = utilization.to_observed();
+        let pre_deploy = slimstart_analyzer::Analyzer::with_default_passes()
+            .analyze(&final_app, Some(&observed));
+        let (optimization, final_app) = if pre_deploy.has_errors() && optimization.is_some() {
+            (None, Arc::clone(&base_app))
+        } else {
+            (optimization, final_app)
+        };
+
+        let optimized = if optimization.as_ref().is_some_and(|o| !o.edits.is_empty()) {
             let mut optimized_platform =
                 Platform::new(Arc::clone(&final_app), cfg.platform.clone(), cfg.seed ^ 0x3);
             let opt_invocations = generate(&spec, &final_app, cfg.seed)?;
@@ -261,11 +284,47 @@ impl Pipeline {
             profiled,
             report,
             optimization,
+            pre_deploy,
             final_app,
             optimized,
             speedup,
             cct,
         })
+    }
+
+    /// Runs only the profiling deployment for `app` under `mix` and returns
+    /// the utilization metric — what `slimstart lint` feeds the analyzer's
+    /// over-approximation auditor without paying for baseline and optimized
+    /// measurement runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unresolvable workloads or runtime faults.
+    pub fn profile_usage(
+        &self,
+        app: &Application,
+        mix: &[(String, f64)],
+    ) -> Result<Utilization, PipelineError> {
+        let cfg = &self.config;
+        let spec = WorkloadSpec::cold_starts_with_mix(mix, cfg.cold_starts);
+        let invocations = generate(&spec, app, cfg.seed)?;
+        let base_app = Arc::new(app.clone());
+        let store = ProfileStore::shared();
+        let store_for_factory = Arc::clone(&store);
+        let sampler_cfg = cfg.sampler;
+        let profiled_cfg = cfg
+            .platform
+            .clone()
+            .with_observer_factory(Arc::new(move || {
+                Box::new(SamplerAttachment::new(
+                    sampler_cfg,
+                    Arc::clone(&store_for_factory),
+                ))
+            }));
+        let mut platform = Platform::new(Arc::clone(&base_app), profiled_cfg, cfg.seed ^ 0x2);
+        platform.run(&invocations)?;
+        let store = store.lock();
+        Ok(Utilization::from_samples(store.samples.iter(), app))
     }
 
     /// Runs the CI/CD loop iteratively: each round profiles the previous
@@ -325,9 +384,7 @@ mod tests {
         let entry = by_code("R-GB").unwrap();
         let built = entry.build(11).unwrap();
         let pipeline = Pipeline::new(quick_config());
-        let out = pipeline
-            .run(&built.app, &entry.workload_weights())
-            .unwrap();
+        let out = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
         assert!(out.report.gate_passed);
         assert!(out.optimized_anything());
         // Paper reports 1.71× init / 1.66× e2e for R-GB; the platform's
@@ -345,10 +402,7 @@ mod tests {
         assert!(out.speedup.mem > 1.0);
         // The drawing package must be among the deferred ones.
         let opt = out.optimization.as_ref().unwrap();
-        assert!(opt
-            .deferred_packages
-            .iter()
-            .any(|p| p == "igraph.drawing"));
+        assert!(opt.deferred_packages.iter().any(|p| p == "igraph.drawing"));
     }
 
     #[test]
@@ -356,9 +410,7 @@ mod tests {
         let entry = by_code("FWB-FLT").unwrap();
         let built = entry.build(11).unwrap();
         let pipeline = Pipeline::new(quick_config());
-        let out = pipeline
-            .run(&built.app, &entry.workload_weights())
-            .unwrap();
+        let out = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
         assert!(!out.report.gate_passed);
         assert!(out.optimization.is_none());
         assert_eq!(out.speedup.e2e, 1.0);
@@ -370,9 +422,7 @@ mod tests {
         let entry = by_code("R-GB").unwrap();
         let built = entry.build(11).unwrap();
         let pipeline = Pipeline::new(quick_config());
-        let out = pipeline
-            .run(&built.app, &entry.workload_weights())
-            .unwrap();
+        let out = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
         let ratio = out.profiler_overhead();
         assert!(ratio > 1.0, "profiling must cost something: {ratio}");
         assert!(ratio < 1.10, "overhead above 10%: {ratio}");
@@ -383,14 +433,9 @@ mod tests {
         let entry = by_code("R-GB").unwrap();
         let built = entry.build(11).unwrap();
         let pipeline = Pipeline::new(quick_config());
-        let out = pipeline
-            .run(&built.app, &entry.workload_weights())
-            .unwrap();
+        let out = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
         let opt = out.optimization.as_ref().unwrap();
-        assert!(opt
-            .skipped
-            .iter()
-            .any(|(p, _)| p == "igraph.plugins"));
+        assert!(opt.skipped.iter().any(|(p, _)| p == "igraph.plugins"));
         // The plugins package stays eagerly imported in the final app.
         let root = out.final_app.module_by_name("igraph").unwrap();
         let plugins = out.final_app.module_by_name("igraph.plugins").unwrap();

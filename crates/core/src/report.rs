@@ -16,11 +16,7 @@ use crate::detect::InefficiencyReport;
 /// Reconstructs the import chain from `from` to the root module of
 /// `package`, as `(file, line)` hops. Returns `None` when the package is
 /// not reachable over global imports.
-pub fn import_path(
-    app: &Application,
-    from: ModuleId,
-    package: &str,
-) -> Option<Vec<(String, u32)>> {
+pub fn import_path(app: &Application, from: ModuleId, package: &str) -> Option<Vec<(String, u32)>> {
     // BFS over global import edges, remembering the (importer, line) that
     // discovered each module.
     let mut prev: HashMap<ModuleId, (ModuleId, u32)> = HashMap::new();
@@ -60,12 +56,19 @@ pub fn import_path(
 /// Renders the full report as text.
 pub fn render(report: &InefficiencyReport, app: &Application) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "==================== SLIMSTART Summary ====================");
+    let _ = writeln!(
+        out,
+        "==================== SLIMSTART Summary ===================="
+    );
     let _ = writeln!(out, "Application: {}", report.app_name);
     let _ = writeln!(
         out,
         "Gate: {} (library initialization = {:.1}% of end-to-end, threshold 10%)",
-        if report.gate_passed { "PASSED" } else { "SKIPPED" },
+        if report.gate_passed {
+            "PASSED"
+        } else {
+            "SKIPPED"
+        },
         report.init_share * 100.0
     );
     let _ = writeln!(out);
@@ -96,7 +99,10 @@ pub fn render(report: &InefficiencyReport, app: &Application) -> String {
             f.utilization * 100.0,
             f.init_fraction * 100.0,
             file,
-            if f.deferrable { "" } else { "  [kept: side effects]" }
+            match f.skip_reason {
+                None => String::new(),
+                Some(reason) => format!("  [kept: {}]", reason.label()),
+            }
         );
     }
 

@@ -98,6 +98,15 @@ impl Utilization {
     pub fn package(&self, path: &str) -> f64 {
         self.by_package.get(path).copied().unwrap_or(0.0)
     }
+
+    /// Converts into the analyzer's package-granular usage view, for the
+    /// over-approximation auditor.
+    pub fn to_observed(&self) -> slimstart_analyzer::ObservedUsage {
+        slimstart_analyzer::ObservedUsage {
+            total_runtime_samples: self.total_runtime_samples,
+            by_package: self.by_package.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,8 +159,7 @@ mod tests {
     fn orchestrator_gets_path_inclusive_credit() {
         let (app, path) = app();
         // 10 samples all landing in worker.sub, via orch.
-        let samples: Vec<SampleRecord> =
-            (0..10).map(|_| sample(path.clone(), false)).collect();
+        let samples: Vec<SampleRecord> = (0..10).map(|_| sample(path.clone(), false)).collect();
         let u = Utilization::from_samples(&samples, &app);
         assert_eq!(u.total_runtime_samples, 10);
         // Both libraries fully utilized thanks to escalation.

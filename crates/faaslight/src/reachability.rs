@@ -32,22 +32,30 @@ impl StaticAnalysis {
             }
         }
 
+        // BFS over the precomputed adjacency.
         while let Some(f) = queue.pop_front() {
-            // Indirect sites pin the callee's whole library.
-            for site in app.function(f).call_sites() {
+            for &t in &call_graph[f.index()] {
+                if !reachable[t.index()] {
+                    reachable[t.index()] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+
+        // Indirect sites in *reachable* functions pin the callee's whole
+        // library (conservative treatment of dynamic dispatch).
+        for (i, is_reachable) in reachable.iter().enumerate() {
+            if !is_reachable {
+                continue;
+            }
+            for site in app.function(FunctionId::from_index(i)).call_sites() {
                 if site.kind == CallKind::Indirect {
                     let callee_module = app.function(site.target).module();
                     if let Some(lib) = app.module(callee_module).library() {
                         pinned[lib.index()] = true;
                     }
                 }
-                let t = site.target;
-                if !reachable[t.index()] {
-                    reachable[t.index()] = true;
-                    queue.push_back(t);
-                }
             }
-            let _ = &call_graph; // adjacency retained for documentation parity
         }
 
         StaticAnalysis {

@@ -8,14 +8,20 @@
 //!     --json                                machine-readable output
 //!     --iterate <ROUNDS>                    iterative CI/CD rounds
 //!     --async-collector                     ship profiles over the channel
+//! slimstart lint <CODE> [--json]            static-analysis diagnostics
+//!     --seed <S> / --cold-starts <N>        profiling run parameters
 //! slimstart source <CODE> <MODULE>          rendered source of a module
 //! slimstart graph <CODE> [--optimized]      import graph as Graphviz DOT
 //! slimstart trace [--seed <S>]              production-trace statistics
 //! slimstart help                            this text
 //! ```
+//!
+//! `lint` exits 1 when any error-severity diagnostic is reported and 0
+//! otherwise (warnings and infos alone do not fail the build).
 
 use std::process::ExitCode;
 
+use slimstart::analyzer::Analyzer;
 use slimstart::appmodel::catalog::{by_code, catalog};
 use slimstart::appmodel::source::render_module;
 use slimstart::core::export::outcome_to_json;
@@ -29,6 +35,17 @@ fn main() -> ExitCode {
     let result = match command {
         "catalog" => cmd_catalog(),
         "run" => cmd_run(&args[1..]),
+        // `lint` owns its exit code: 1 on error-severity findings, 0 when
+        // the report is clean or carries only warnings/infos.
+        "lint" => {
+            return match cmd_lint(&args[1..]) {
+                Ok(code) => code,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "source" => cmd_source(&args[1..]),
         "graph" => cmd_graph(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
@@ -54,6 +71,7 @@ fn print_help() {
 USAGE:
     slimstart catalog
     slimstart run <CODE> [--cold-starts N] [--seed S] [--json] [--iterate R] [--async-collector]
+    slimstart lint <CODE> [--json] [--seed S] [--cold-starts N]
     slimstart source <CODE> <MODULE>
     slimstart graph <CODE> [--optimized] [--seed S]
     slimstart trace [--seed S]
@@ -144,13 +162,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     println!(
         "optimized: init {:>8.1} ms   e2e {:>8.1} ms   mem {:>6.1} MB",
-        outcome.optimized.mean_init_ms, outcome.optimized.mean_e2e_ms, outcome.optimized.peak_mem_mb
+        outcome.optimized.mean_init_ms,
+        outcome.optimized.mean_e2e_ms,
+        outcome.optimized.peak_mem_mb
     );
     // Cumulative speedup: round-1 baseline vs last round's deployment.
-    let speedup = slimstart::platform::metrics::Speedup::between(
-        &first.baseline,
-        &outcome.optimized,
-    );
+    let speedup =
+        slimstart::platform::metrics::Speedup::between(&first.baseline, &outcome.optimized);
     println!(
         "speedup  : lib-load {:.2}x | cold-init {:.2}x | e2e {:.2}x | p99 e2e {:.2}x | mem {:.2}x",
         speedup.load, speedup.init, speedup.e2e, speedup.p99_e2e, speedup.mem
@@ -166,9 +184,49 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    let code = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: slimstart lint <CODE> [--json]")?;
+    let entry = by_code(code).ok_or_else(|| format!("unknown catalog code `{code}`"))?;
+    let seed = flag_value(args, "--seed")?.unwrap_or(2025);
+    let cold_starts = flag_value(args, "--cold-starts")?.unwrap_or(500) as usize;
+    let json = args.iter().any(|a| a == "--json");
+
+    let built = entry.build(seed).map_err(|e| e.to_string())?;
+    let config = PipelineConfig {
+        cold_starts,
+        seed,
+        ..PipelineConfig::default()
+    };
+    // One profiling deployment gives the over-approximation auditor its
+    // observed-usage view; the other passes are purely static.
+    let utilization = Pipeline::new(config)
+        .profile_usage(&built.app, &entry.workload_weights())
+        .map_err(|e| e.to_string())?;
+    let observed = utilization.to_observed();
+    let report = Analyzer::with_default_passes().analyze(&built.app, Some(&observed));
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_source(args: &[String]) -> Result<(), String> {
-    let code = args.first().ok_or("usage: slimstart source <CODE> <MODULE>")?;
-    let module_name = args.get(1).ok_or("usage: slimstart source <CODE> <MODULE>")?;
+    let code = args
+        .first()
+        .ok_or("usage: slimstart source <CODE> <MODULE>")?;
+    let module_name = args
+        .get(1)
+        .ok_or("usage: slimstart source <CODE> <MODULE>")?;
     let entry = by_code(code).ok_or_else(|| format!("unknown catalog code `{code}`"))?;
     let seed = flag_value(args, "--seed")?.unwrap_or(2025);
     let built = entry.build(seed).map_err(|e| e.to_string())?;

@@ -16,7 +16,9 @@
 //! * [`workload`] — invocation streams, drift, production-trace synthesis;
 //! * [`core`] — SLIMSTART itself (profiler, CCT, detector, optimizer,
 //!   adaptive mechanism, CI/CD pipeline);
-//! * [`faaslight`] — the static-analysis baseline.
+//! * [`faaslight`] — the static-analysis baseline;
+//! * [`analyzer`] — the static-analysis pass framework (deferral-safety
+//!   verifier, import lints, over-approximation auditor).
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use slimstart_analyzer as analyzer;
 pub use slimstart_appmodel as appmodel;
 pub use slimstart_core as core;
 pub use slimstart_faaslight as faaslight;
@@ -45,11 +48,10 @@ pub use slimstart_workload as workload;
 
 /// The most commonly used items, for `use slimstart::prelude::*`.
 pub mod prelude {
+    pub use slimstart_analyzer::{AnalysisReport, Analyzer, Severity};
     pub use slimstart_appmodel::{AppBuilder, Application, ImportMode};
     pub use slimstart_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
-    pub use slimstart_core::{
-        AdaptiveConfig, AdaptiveMonitor, Cct, DetectorConfig, SamplerConfig,
-    };
+    pub use slimstart_core::{AdaptiveConfig, AdaptiveMonitor, Cct, DetectorConfig, SamplerConfig};
     pub use slimstart_platform::{AppMetrics, Platform, PlatformConfig};
     pub use slimstart_simcore::{SimDuration, SimRng, SimTime};
     pub use slimstart_workload::{ProductionTrace, TraceConfig, WorkloadSpec};
