@@ -515,7 +515,12 @@ impl AppBuilder {
     pub fn finish(mut self) -> Result<Application, AppModelError> {
         // Mark modules that have children as packages so their modeled file
         // becomes `pkg/__init__.py`.
-        let names: Vec<String> = self.app.modules.iter().map(|m| m.name().to_string()).collect();
+        let names: Vec<String> = self
+            .app
+            .modules
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         let parents: HashSet<&str> = names
             .iter()
             .filter_map(|n| n.rsplit_once('.').map(|(p, _)| p))
@@ -661,10 +666,7 @@ mod tests {
         b.add_import(m2, m1, 2, ImportMode::Global).unwrap();
         let f = b.add_function("f", m1, 3, vec![]);
         b.add_handler("h", f);
-        assert!(matches!(
-            b.finish(),
-            Err(AppModelError::ImportCycle(_))
-        ));
+        assert!(matches!(b.finish(), Err(AppModelError::ImportCycle(_))));
     }
 
     #[test]
@@ -721,10 +723,7 @@ mod tests {
         assert!(app.module_by_name("nope").is_none());
         let h = app.handler_by_name("main").unwrap();
         assert_eq!(app.handler(h).name(), "main");
-        assert_eq!(
-            app.module(app.handler_module(h)).name(),
-            "handler"
-        );
+        assert_eq!(app.module(app.handler_module(h)).name(), "handler");
         assert_eq!(app.libraries().len(), 1);
         assert_eq!(app.modules_of_library(LibraryId::from_index(0)).len(), 3);
     }

@@ -273,13 +273,7 @@ impl CatalogApp {
             subs.push(("xmlio", self.frac_rare, false, 1, mem_of(self.frac_rare)));
         }
         if self.frac_side_effectful > 0.0 {
-            subs.push((
-                "plugins",
-                self.frac_side_effectful,
-                true,
-                1,
-                sfx_mem_frac,
-            ));
+            subs.push(("plugins", self.frac_side_effectful, true, 1, sfx_mem_frac));
         }
 
         let init_norm: f64 = subs.iter().map(|s| s.1).sum();
@@ -330,10 +324,9 @@ impl CatalogApp {
                     mem_share: 1.0,
                     side_effectful: false,
                     api_functions: 1,
-                    api_call_cost: SimDuration::from_millis_f64(self.per_call_cost_ms(
-                        exec_total_ms,
-                        extras,
-                    )),
+                    api_call_cost: SimDuration::from_millis_f64(
+                        self.per_call_cost_ms(exec_total_ms, extras),
+                    ),
                 }],
             });
         }
@@ -1096,17 +1089,63 @@ fn trivial_apps() -> Vec<CatalogApp> {
         },
     };
     vec![
-        trivial("R-UL", "uploader", Suite::RainbowCake, "boto_stub", 420.0, 0.06),
-        trivial("R-TN", "thumbnailer", Suite::RainbowCake, "pillow_lite", 380.0, 0.08),
-        trivial("FWB-FLT", "float-ops", Suite::FaasWorkbench, "mathkit", 120.0, 0.03),
-        trivial("FWB-JSN", "json-dumps", Suite::FaasWorkbench, "jsonkit", 150.0, 0.07),
-        trivial("FL-HW", "hello-rest", Suite::FaasLight, "microweb", 90.0, 0.05),
+        trivial(
+            "R-UL",
+            "uploader",
+            Suite::RainbowCake,
+            "boto_stub",
+            420.0,
+            0.06,
+        ),
+        trivial(
+            "R-TN",
+            "thumbnailer",
+            Suite::RainbowCake,
+            "pillow_lite",
+            380.0,
+            0.08,
+        ),
+        trivial(
+            "FWB-FLT",
+            "float-ops",
+            Suite::FaasWorkbench,
+            "mathkit",
+            120.0,
+            0.03,
+        ),
+        trivial(
+            "FWB-JSN",
+            "json-dumps",
+            Suite::FaasWorkbench,
+            "jsonkit",
+            150.0,
+            0.07,
+        ),
+        trivial(
+            "FL-HW",
+            "hello-rest",
+            Suite::FaasLight,
+            "microweb",
+            90.0,
+            0.05,
+        ),
     ]
 }
 
 /// Returns the catalog entry with the given short code.
 pub fn by_code(code: &str) -> Option<CatalogApp> {
     catalog().into_iter().find(|a| a.code == code)
+}
+
+/// Returns a deterministic population of `n` applications for fleet-scale
+/// experiments by cycling the 22-entry catalog in order.
+///
+/// Entry `i` is `catalog()[i % 22]`; the fleet orchestrator diversifies
+/// repeated entries through per-app build seeds, so two copies of the same
+/// catalog entry still synthesize distinct module structures.
+pub fn fleet_population(n: usize) -> Vec<CatalogApp> {
+    let base = catalog();
+    (0..n).map(|i| base[i % base.len()].clone()).collect()
 }
 
 #[cfg(test)]
@@ -1116,6 +1155,16 @@ mod tests {
     #[test]
     fn catalog_has_22_apps() {
         assert_eq!(catalog().len(), 22);
+    }
+
+    #[test]
+    fn fleet_population_cycles_catalog() {
+        let pop = fleet_population(50);
+        assert_eq!(pop.len(), 50);
+        assert_eq!(pop[0].code, catalog()[0].code);
+        assert_eq!(pop[22].code, catalog()[0].code);
+        assert_eq!(pop[23].code, catalog()[1].code);
+        assert!(fleet_population(0).is_empty());
     }
 
     #[test]

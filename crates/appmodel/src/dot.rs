@@ -125,10 +125,7 @@ mod tests {
     #[test]
     fn deferred_edges_are_dashed() {
         let dot = import_graph_dot(&app());
-        let dashed = dot
-            .lines()
-            .filter(|l| l.contains("style=dashed"))
-            .count();
+        let dashed = dot.lines().filter(|l| l.contains("style=dashed")).count();
         assert_eq!(dashed, 1);
         // Eager edges carry no style suffix.
         let eager = dot

@@ -100,8 +100,10 @@ impl PackageTree {
                     );
                     match parent {
                         Some(p) => {
-                            let parent_node =
-                                tree.nodes.get_mut(&p).expect("parent inserted before child");
+                            let parent_node = tree
+                                .nodes
+                                .get_mut(&p)
+                                .expect("parent inserted before child");
                             parent_node.children.push(path.clone());
                         }
                         None => tree.roots.push(path.clone()),

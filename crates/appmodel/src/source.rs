@@ -65,7 +65,12 @@ fn render_stmts(app: &Application, stmts: &[Stmt], indent: usize, out: &mut Stri
     for stmt in stmts {
         match &stmt.kind {
             StmtKind::Work(d) => {
-                let _ = writeln!(out, "{pad}compute({:.3})  # line {}", d.as_millis_f64(), stmt.line);
+                let _ = writeln!(
+                    out,
+                    "{pad}compute({:.3})  # line {}",
+                    d.as_millis_f64(),
+                    stmt.line
+                );
             }
             StmtKind::Call(site) => {
                 let callee = app.function(site.target);

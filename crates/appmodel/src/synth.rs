@@ -143,17 +143,39 @@ pub enum BlueprintError {
 impl fmt::Display for BlueprintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BlueprintError::SharesDontSum { library, which, sum } => {
-                write!(f, "library `{library}`: {which} shares sum to {sum}, expected 1")
+            BlueprintError::SharesDontSum {
+                library,
+                which,
+                sum,
+            } => {
+                write!(
+                    f,
+                    "library `{library}`: {which} shares sum to {sum}, expected 1"
+                )
             }
             BlueprintError::TooFewModules { library } => {
-                write!(f, "library `{library}`: module budget too small for its subpackages")
+                write!(
+                    f,
+                    "library `{library}`: module budget too small for its subpackages"
+                )
             }
-            BlueprintError::UnknownUse { library, subpackage } => {
-                write!(f, "handler uses unknown subpackage `{library}.{subpackage}`")
+            BlueprintError::UnknownUse {
+                library,
+                subpackage,
+            } => {
+                write!(
+                    f,
+                    "handler uses unknown subpackage `{library}.{subpackage}`"
+                )
             }
-            BlueprintError::NoApiFunctions { library, subpackage } => {
-                write!(f, "subpackage `{library}.{subpackage}` exposes no API functions")
+            BlueprintError::NoApiFunctions {
+                library,
+                subpackage,
+            } => {
+                write!(
+                    f,
+                    "subpackage `{library}.{subpackage}` exposes no API functions"
+                )
             }
             BlueprintError::Model(e) => write!(f, "invalid generated application: {e}"),
         }
@@ -227,9 +249,7 @@ fn split_cost(total: SimDuration, n: usize, rng: &mut SimRng) -> Vec<SimDuration
     if n == 0 {
         return Vec::new();
     }
-    let weights: Vec<f64> = (0..n)
-        .map(|_| normalish(rng, 0.0, 0.8).exp())
-        .collect();
+    let weights: Vec<f64> = (0..n).map(|_| normalish(rng, 0.0, 0.8).exp()).collect();
     let wsum: f64 = weights.iter().sum();
     let micros = total.as_micros();
     let mut out: Vec<SimDuration> = weights
@@ -277,8 +297,16 @@ pub fn build_library(
     bp: &LibraryBlueprint,
     rng: &mut SimRng,
 ) -> Result<BuiltLibrary, BlueprintError> {
-    check_shares(&bp.name, "module", bp.subpackages.iter().map(|s| s.module_share))?;
-    check_shares(&bp.name, "init", bp.subpackages.iter().map(|s| s.init_share))?;
+    check_shares(
+        &bp.name,
+        "module",
+        bp.subpackages.iter().map(|s| s.module_share),
+    )?;
+    check_shares(
+        &bp.name,
+        "init",
+        bp.subpackages.iter().map(|s| s.init_share),
+    )?;
     check_shares(&bp.name, "mem", bp.subpackages.iter().map(|s| s.mem_share))?;
     if bp.modules < bp.subpackages.len() + 1 {
         return Err(BlueprintError::TooFewModules {
@@ -483,12 +511,13 @@ pub fn build_app(bp: &AppBlueprint, seed: u64) -> Result<BuiltApp, BlueprintErro
         });
         for use_spec in &h.uses {
             stmt_line += 1;
-            let lib = libraries.get(&use_spec.library).ok_or_else(|| {
-                BlueprintError::UnknownUse {
-                    library: use_spec.library.clone(),
-                    subpackage: use_spec.subpackage.clone(),
-                }
-            })?;
+            let lib =
+                libraries
+                    .get(&use_spec.library)
+                    .ok_or_else(|| BlueprintError::UnknownUse {
+                        library: use_spec.library.clone(),
+                        subpackage: use_spec.subpackage.clone(),
+                    })?;
             let sub = lib.subpackages.get(&use_spec.subpackage).ok_or_else(|| {
                 BlueprintError::UnknownUse {
                     library: use_spec.library.clone(),

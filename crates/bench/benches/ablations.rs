@@ -46,8 +46,12 @@ fn profile(
     let store_for_factory = Arc::clone(&store);
     let cfg = PlatformConfig::default()
         .without_jitter()
-        .with_observer_factory(Arc::new(move |
-        | Box::new(SamplerAttachment::new(sampler, Arc::clone(&store_for_factory)))));
+        .with_observer_factory(Arc::new(move || {
+            Box::new(SamplerAttachment::new(
+                sampler,
+                Arc::clone(&store_for_factory),
+            ))
+        }));
     let mut platform = Platform::new(Arc::new(app.clone()), cfg, seed);
     let spec = WorkloadSpec::cold_starts_with_mix(mix, colds);
     let invs = generate(&spec, app, seed).expect("workload resolves");
@@ -59,7 +63,10 @@ fn profile(
 }
 
 /// Leaf-only utilization: the conventional flat profile (no escalation).
-fn leaf_only_package_utilization(samples: &[SampleRecord], app: &Application) -> BTreeMap<String, f64> {
+fn leaf_only_package_utilization(
+    samples: &[SampleRecord],
+    app: &Application,
+) -> BTreeMap<String, f64> {
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut total = 0u64;
     for s in samples {
@@ -207,12 +214,8 @@ fn ablation_init_filter(colds: usize, seed: u64) {
         .collect();
     let unfiltered = Utilization::from_samples(unfiltered_samples.iter(), &app);
 
-    let breakdown = InitBreakdown::from_store(
-        &store,
-        &app,
-        cold_count,
-        SimDuration::from_millis_f64(e2e),
-    );
+    let breakdown =
+        InitBreakdown::from_store(&store, &app, cold_count, SimDuration::from_millis_f64(e2e));
     let det = DetectorConfig::default();
     let with_filter = detect(&app, &breakdown, &filtered, &det);
     let without_filter = detect(&app, &breakdown, &unfiltered, &det);

@@ -18,12 +18,7 @@ fn main() {
     println!("(119 apps, 14 days, 12 h windows, epsilon = {epsilon})\n");
 
     let timeline = trace.delta_p_timeline(epsilon);
-    let mut table = TextTable::new(vec![
-        "hour",
-        "mean dp",
-        "% apps > eps",
-        "bar",
-    ]);
+    let mut table = TextTable::new(vec!["hour", "mean dp", "% apps > eps", "bar"]);
     for (w, (mean, frac)) in timeline.iter().enumerate() {
         table.row(vec![
             (w * 12).to_string(),

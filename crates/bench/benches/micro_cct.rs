@@ -1,8 +1,15 @@
-//! Criterion micro-benchmarks for the profiler's hot data structures:
-//! CCT insertion, escalation (inclusive counts), merging, and utilization
+//! Micro-benchmarks for the profiler's hot data structures: CCT
+//! insertion, escalation (inclusive counts), merging, and utilization
 //! computation over realistic sample batches.
+//!
+//! Plain `harness = false` timing loops (like every other bench in this
+//! crate) so the harness carries no external dependency: each case is
+//! warmed once, then timed over enough iterations to smooth scheduler
+//! noise, reporting mean wall-clock per iteration.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use slimstart_appmodel::catalog::by_code;
 use slimstart_core::cct::Cct;
 use slimstart_core::profile::SampleRecord;
@@ -35,47 +42,49 @@ fn synth_samples(n: usize, seed: u64) -> Vec<SampleRecord> {
         .collect()
 }
 
-fn bench_cct_insert(c: &mut Criterion) {
+/// Times `f` over `iters` iterations (after one warm-up call) and prints
+/// the mean per-iteration latency.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<28} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn main() {
+    println!("== micro_cct: profiler hot-path micro-benchmarks ==\n");
+
     let samples = synth_samples(10_000, 42);
-    c.bench_function("cct_insert_10k_samples", |b| {
-        b.iter(|| {
-            let mut cct = Cct::new();
-            for s in &samples {
-                cct.insert(black_box(&s.path), s.is_init);
-            }
-            black_box(cct.len())
-        })
+    bench("cct_insert_10k_samples", 50, || {
+        let mut cct = Cct::new();
+        for s in &samples {
+            cct.insert(black_box(&s.path), s.is_init);
+        }
+        cct.len()
     });
-}
 
-fn bench_cct_inclusive(c: &mut Criterion) {
-    let samples = synth_samples(50_000, 43);
-    let cct = Cct::from_samples(&samples);
-    c.bench_function("cct_escalation_inclusive", |b| {
-        b.iter(|| black_box(cct.inclusive()))
-    });
-}
+    let big = synth_samples(50_000, 43);
+    let cct = Cct::from_samples(&big);
+    bench("cct_escalation_inclusive", 200, || cct.inclusive());
 
-fn bench_cct_merge(c: &mut Criterion) {
     let a = Cct::from_samples(&synth_samples(5_000, 44));
     let b_tree = Cct::from_samples(&synth_samples(5_000, 45));
-    c.bench_function("cct_merge_5k_into_5k", |bench| {
-        bench.iter(|| {
-            let mut merged = a.clone();
-            merged.merge(black_box(&b_tree));
-            black_box(merged.total_samples())
-        })
+    bench("cct_merge_5k_into_5k", 200, || {
+        let mut merged = a.clone();
+        merged.merge(black_box(&b_tree));
+        merged.total_samples()
     });
-}
 
-fn bench_utilization(c: &mut Criterion) {
     // Real application shape: R-GB's profile-sized sample batch, with paths
     // drawn from the app's actual functions.
     let entry = by_code("R-GB").expect("catalog");
     let built = entry.build(7).expect("builds");
     let mut rng = SimRng::seed_from(46);
     let n_fns = built.app.functions().len();
-    let samples: Vec<SampleRecord> = (0..20_000)
+    let app_samples: Vec<SampleRecord> = (0..20_000)
         .map(|_| {
             let depth = 2 + rng.next_below(4);
             let path: Vec<Frame> = (0..depth)
@@ -92,16 +101,7 @@ fn bench_utilization(c: &mut Criterion) {
             }
         })
         .collect();
-    c.bench_function("utilization_20k_samples", |b| {
-        b.iter(|| black_box(Utilization::from_samples(samples.iter(), &built.app)))
+    bench("utilization_20k_samples", 50, || {
+        Utilization::from_samples(app_samples.iter(), &built.app)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_cct_insert,
-    bench_cct_inclusive,
-    bench_cct_merge,
-    bench_utilization
-);
-criterion_main!(benches);

@@ -61,7 +61,12 @@ fn run_window(
     let window_base = SimTime::ZERO + SimDuration::from_hours(12) * window as u64;
     let arrivals = invs
         .iter()
-        .map(|i| (i.handler, window_base + SimDuration::from_micros(i.at.as_micros() % (12 * 3_600_000_000))))
+        .map(|i| {
+            (
+                i.handler,
+                window_base + SimDuration::from_micros(i.at.as_micros() % (12 * 3_600_000_000)),
+            )
+        })
         .collect();
     (metrics, arrivals)
 }

@@ -1,0 +1,27 @@
+//! Supplementary experiment: fleet-scale optimization sweep.
+//!
+//! The paper evaluates one application at a time (Table II); a production
+//! deployment optimizes *fleets* of functions. This experiment fans the
+//! catalog population across the fleet orchestrator's worker pool and
+//! reports the fleet-wide speedup distributions — the per-app rows stay
+//! byte-identical regardless of `SLIMSTART_THREADS`, so the wall-clock
+//! line is the only nondeterministic output.
+//!
+//! Knobs: `SLIMSTART_FLEET_APPS` (default 44 — two catalog cycles), plus
+//! the shared `SLIMSTART_COLD_STARTS` / `SLIMSTART_SEED` /
+//! `SLIMSTART_RUNS` / `SLIMSTART_THREADS`.
+
+use slimstart_bench::run_fleet;
+
+fn main() {
+    let apps = std::env::var("SLIMSTART_FLEET_APPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(44);
+
+    println!("== Supplementary: fleet-scale optimization sweep ==\n");
+    let (report, stats) = run_fleet(apps);
+    println!("{}", report.render_text());
+    println!("{stats}");
+}

@@ -106,7 +106,12 @@ fn main() {
             duration: SimDuration::from_hours(12),
         },
     };
-    let mut combo = TextTable::new(vec!["configuration", "cold ratio", "mean e2e (ms)", "p99 e2e (ms)"]);
+    let mut combo = TextTable::new(vec![
+        "configuration",
+        "cold ratio",
+        "mean e2e (ms)",
+        "p99 e2e (ms)",
+    ]);
     let configs: [(&str, Arc<Application>, usize); 4] = [
         ("baseline", Arc::clone(&baseline_app), 0),
         ("baseline + prewarm(2)", Arc::clone(&baseline_app), 2),

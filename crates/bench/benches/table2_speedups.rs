@@ -57,8 +57,16 @@ fn main() {
             entry.n_libs.to_string(),
             entry.n_modules.to_string(),
             format!("{:.2}", built.app.avg_module_depth()),
-            format!("{} ({})", times(speedup.load), times(entry.paper.init_speedup)),
-            format!("{} ({})", times(speedup.e2e), times(entry.paper.e2e_speedup)),
+            format!(
+                "{} ({})",
+                times(speedup.load),
+                times(entry.paper.init_speedup)
+            ),
+            format!(
+                "{} ({})",
+                times(speedup.e2e),
+                times(entry.paper.e2e_speedup)
+            ),
             format!(
                 "{} ({})",
                 times(speedup.p99_load),

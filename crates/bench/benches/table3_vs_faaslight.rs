@@ -14,11 +14,39 @@ use slimstart_bench::{cold_starts, run_catalog_app, seed};
 /// end-to-end latency ms), keyed by our catalog code.
 const FAASLIGHT_REPORTED: &[(&str, &str, f64, f64, f64, f64)] = &[
     // (code, app id, mem before, mem after, e2e before, e2e after)
-    ("FL-PMP", "App4 scikit-assign", 142.0, 140.0, 4_534.38, 4_004.10),
+    (
+        "FL-PMP",
+        "App4 scikit-assign",
+        142.0,
+        140.0,
+        4_534.38,
+        4_004.10,
+    ),
     ("FL-SN", "App7 skimage", 228.0, 130.0, 7_165.54, 4_152.73),
-    ("FL-TWM", "App9 train-wine-ml", 230.0, 216.0, 9_035.39, 7_470.49),
-    ("FL-PWM", "App9 predict-wine-ml", 230.0, 215.0, 8_291.80, 7_071.03),
-    ("FL-SA", "App11 sentiment-analysis", 182.0, 141.0, 5_551.03, 3_934.31),
+    (
+        "FL-TWM",
+        "App9 train-wine-ml",
+        230.0,
+        216.0,
+        9_035.39,
+        7_470.49,
+    ),
+    (
+        "FL-PWM",
+        "App9 predict-wine-ml",
+        230.0,
+        215.0,
+        8_291.80,
+        7_071.03,
+    ),
+    (
+        "FL-SA",
+        "App11 sentiment-analysis",
+        182.0,
+        141.0,
+        5_551.03,
+        3_934.31,
+    ),
 ];
 
 fn main() {
@@ -66,10 +94,7 @@ fn main() {
             String::new(),
             String::new(),
             "after".to_string(),
-            format!(
-                "{:.2} ({:.2}x)",
-                out.optimized.peak_mem_mb, out.speedup.mem
-            ),
+            format!("{:.2} ({:.2}x)", out.optimized.peak_mem_mb, out.speedup.mem),
             format!("{:.2} ({:.2}x)", out.optimized.mean_e2e_ms, out.speedup.e2e),
         ]);
     }

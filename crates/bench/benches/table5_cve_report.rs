@@ -20,7 +20,12 @@ fn main() {
     println!("{}", render(&out.report, &built.app));
 
     // Show the xmlschema finding the way the paper highlights it.
-    if let Some(xml) = out.report.findings.iter().find(|f| f.package == "xmlschema") {
+    if let Some(xml) = out
+        .report
+        .findings
+        .iter()
+        .find(|f| f.package == "xmlschema")
+    {
         println!(
             "xmlschema: utilization {:.2}%, init overhead {:.2}% (paper: 0.78% / 8.27%)",
             xml.utilization * 100.0,

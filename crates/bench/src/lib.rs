@@ -8,10 +8,17 @@
 //!
 //! * `SLIMSTART_COLD_STARTS` — cold starts per measurement run
 //!   (default 500, the paper's methodology);
-//! * `SLIMSTART_SEED` — experiment seed (default 2025).
+//! * `SLIMSTART_SEED` — experiment seed (default 2025);
+//! * `SLIMSTART_RUNS` — measurement runs averaged per application
+//!   (default 1; the paper averages five);
+//! * `SLIMSTART_THREADS` — fleet worker threads (default: available
+//!   parallelism; never changes results, only wall-clock).
 
 pub mod runner;
 pub mod table;
 
-pub use runner::{cold_starts, run_catalog_app, run_catalog_app_averaged, runs, seed, ExperimentRun};
+pub use runner::{
+    cold_starts, run_catalog_app, run_catalog_app_averaged, run_fleet, runs, seed, threads,
+    ExperimentRun,
+};
 pub use table::TextTable;

@@ -2,6 +2,7 @@
 
 use slimstart_appmodel::catalog::CatalogApp;
 use slimstart_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use slimstart_fleet::{FleetConfig, FleetOrchestrator, FleetReport, FleetRunStats};
 use slimstart_platform::metrics::Speedup;
 
 /// Cold starts per measurement run (`SLIMSTART_COLD_STARTS`, default 500 —
@@ -29,6 +30,41 @@ pub fn runs() -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|n| *n > 0)
         .unwrap_or(1)
+}
+
+/// Fleet worker threads (`SLIMSTART_THREADS`, default: the machine's
+/// available parallelism). Thread count never changes results — only how
+/// fast they arrive.
+pub fn threads() -> usize {
+    std::env::var("SLIMSTART_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs the fleet orchestrator over `apps` applications with every
+/// `SLIMSTART_*` environment knob honored (`SLIMSTART_COLD_STARTS`,
+/// `SLIMSTART_SEED`, `SLIMSTART_RUNS`, `SLIMSTART_THREADS`).
+///
+/// # Panics
+///
+/// Panics on blueprint or pipeline failure — experiment harnesses treat
+/// those as fatal.
+pub fn run_fleet(apps: usize) -> (FleetReport, FleetRunStats) {
+    let config = FleetConfig::default()
+        .with_apps(apps)
+        .with_threads(threads())
+        .with_seed(seed())
+        .with_cold_starts(cold_starts())
+        .with_runs(runs());
+    FleetOrchestrator::new(config)
+        .run()
+        .unwrap_or_else(|e| panic!("fleet run failed: {e}"))
 }
 
 /// One catalog app's pipeline outcome plus its identity.

@@ -144,11 +144,7 @@ impl AdaptiveMonitor {
             .map(|c| *c as f64 / total as f64)
             .collect();
         let delta = match &self.prev_probs {
-            Some(prev) => prev
-                .iter()
-                .zip(&probs)
-                .map(|(a, b)| (a - b).abs())
-                .sum(),
+            Some(prev) => prev.iter().zip(&probs).map(|(a, b)| (a - b).abs()).sum(),
             None => 0.0,
         };
         let effective_epsilon = if self.config.volume_aware {
@@ -210,7 +206,10 @@ mod tests {
         for w in 0..3u64 {
             for i in 0..100 {
                 let handler = if i % 5 == 0 { h(1) } else { h(0) };
-                assert_eq!(m.record(handler, t_hours(w * 12) + SimDuration::from_mins(i)), None);
+                assert_eq!(
+                    m.record(handler, t_hours(w * 12) + SimDuration::from_mins(i)),
+                    None
+                );
             }
         }
         m.flush();
@@ -235,10 +234,7 @@ mod tests {
         }
         let d = m.flush();
         assert_eq!(decision, None); // first window close has no prior probs
-        assert_eq!(
-            d,
-            Some(AdaptiveDecision::TriggerProfiling { delta: 2.0 })
-        );
+        assert_eq!(d, Some(AdaptiveDecision::TriggerProfiling { delta: 2.0 }));
         assert_eq!(m.trigger_count(), 1);
     }
 

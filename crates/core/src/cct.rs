@@ -81,7 +81,9 @@ impl Cct {
     pub fn new() -> Self {
         let root = CctNode {
             key: CctKey {
-                kind: FrameKind::ModuleInit(slimstart_appmodel::ModuleId::from_index(u32::MAX as usize)),
+                kind: FrameKind::ModuleInit(slimstart_appmodel::ModuleId::from_index(
+                    u32::MAX as usize,
+                )),
                 line: 0,
             },
             parent: None,

@@ -133,11 +133,7 @@ impl AsyncCollector {
     /// Panics if called after [`AsyncCollector::finish`].
     pub fn sender(&self) -> BatchSender {
         BatchSender {
-            tx: self
-                .tx
-                .as_ref()
-                .expect("collector still running")
-                .clone(),
+            tx: self.tx.as_ref().expect("collector still running").clone(),
         }
     }
 

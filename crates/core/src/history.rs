@@ -107,9 +107,7 @@ impl ProfileHistory {
     pub fn crossed_threshold(&self, app: &Application, package: &str, threshold: f64) -> bool {
         let trend = self.utilization_trend(app, package);
         match (trend.first(), trend.last()) {
-            (Some(first), Some(last)) => {
-                (first < &threshold) != (last < &threshold)
-            }
+            (Some(first), Some(last)) => (first < &threshold) != (last < &threshold),
             _ => false,
         }
     }
@@ -145,7 +143,12 @@ mod tests {
         (b.finish().unwrap(), f_main, f_lib)
     }
 
-    fn store_with(lib_samples: usize, app_samples: usize, f_main: FunctionId, f_lib: FunctionId) -> ProfileStore {
+    fn store_with(
+        lib_samples: usize,
+        app_samples: usize,
+        f_main: FunctionId,
+        f_lib: FunctionId,
+    ) -> ProfileStore {
         let mut store = ProfileStore::default();
         let frame = |f: FunctionId| Frame {
             kind: FrameKind::Call(f),

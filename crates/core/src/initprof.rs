@@ -139,7 +139,12 @@ mod tests {
 
         let mut store = ProfileStore::default();
         // Two cold starts, each paying the full init.
-        for (name, per_start_ms) in [("handler", 1u64), ("nltk", 4), ("nltk.sem", 40), ("nltk.sem.logic", 15)] {
+        for (name, per_start_ms) in [
+            ("handler", 1u64),
+            ("nltk", 4),
+            ("nltk.sem", 40),
+            ("nltk.sem.logic", 15),
+        ] {
             let m = app.module_by_name(name).unwrap();
             store
                 .init_micros_by_module

@@ -22,6 +22,10 @@
 //!
 //! [`pipeline`] ties everything into the CI/CD loop the paper deploys:
 //! baseline → gate → profile → detect → optimize → redeploy → measure.
+//! Each step is a composable [`stage::Stage`]; [`stage::StageEngine`]
+//! lets callers skip, swap, or extend stages (e.g. FaaSLight's strip pass
+//! as an alternate optimize stage) and the fleet orchestrator
+//! (`slimstart-fleet`) runs many applications' engines in parallel.
 //!
 //! # Example
 //!
@@ -31,8 +35,7 @@
 //!
 //! let entry = by_code("R-GB").expect("catalog entry");
 //! let built = entry.build(7)?;
-//! let mut config = PipelineConfig::default();
-//! config.cold_starts = 25; // keep the doctest fast
+//! let config = PipelineConfig::default().with_cold_starts(25); // keep the doctest fast
 //! let outcome = Pipeline::new(config).run(&built.app, &entry.workload_weights())?;
 //! assert!(outcome.speedup.init > 1.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -51,6 +54,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod sampler;
+pub mod stage;
 pub mod utilization;
 pub mod wire;
 
@@ -65,5 +69,36 @@ pub use optimizer::{optimize, OptimizationOutcome};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
 pub use profile::{ProfileStore, SampleRecord};
 pub use sampler::SamplerAttachment;
+pub use stage::{
+    AnalyzeStage, BaselineStage, GateDecision, GateStage, MeasureStage, OptimizeStage, PipelineCtx,
+    PreDeployStage, ProfileStage, Stage, StageEngine, StageRecord, StageStatus,
+};
 pub use utilization::Utilization;
 pub use wire::{ProfileBatch, WireError};
+
+#[cfg(test)]
+mod thread_safety {
+    //! The fleet orchestrator moves pipeline configurations into worker
+    //! threads and ships outcomes back; these assertions pin the
+    //! Send/Sync contract for everything that crosses that boundary.
+
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn fleet_shared_types_are_send_and_sync() {
+        assert_send_sync::<PipelineConfig>();
+        assert_send_sync::<Pipeline>();
+        assert_send_sync::<StageEngine>();
+        assert_send_sync::<GateDecision>();
+    }
+
+    #[test]
+    fn pipeline_products_can_move_across_threads() {
+        assert_send::<PipelineOutcome>();
+        assert_send::<PipelineCtx>();
+        assert_send::<PipelineError>();
+    }
+}

@@ -18,26 +18,28 @@
 //!    (an unsafe deployed deferral) roll the deployment back to baseline;
 //! 7. **Redeploy & measure** — run the optimized application and compute
 //!    speedups.
+//!
+//! Each step is a [`crate::stage::Stage`] composed by a
+//! [`crate::stage::StageEngine`]; `Pipeline::run` drives the canonical
+//! composition and packages the resulting context into a
+//! [`PipelineOutcome`]. Alternate compositions (a strict gate, FaaSLight's
+//! strip pass as the optimize stage, …) go through
+//! [`Pipeline::run_with_engine`].
 
 use std::fmt;
 use std::sync::Arc;
 
 use slimstart_appmodel::Application;
 use slimstart_platform::metrics::{AppMetrics, Speedup};
-use slimstart_platform::platform::{Platform, PlatformConfig};
+use slimstart_platform::platform::PlatformConfig;
 use slimstart_pyrt::RuntimeFault;
-use slimstart_simcore::time::SimDuration;
-use slimstart_workload::generator::{generate, WorkloadError};
-use slimstart_workload::spec::WorkloadSpec;
+use slimstart_workload::generator::WorkloadError;
 
 use crate::cct::Cct;
-use crate::collector::AsyncCollector;
 use crate::config::{DetectorConfig, SamplerConfig};
-use crate::detect::{detect, InefficiencyReport};
-use crate::initprof::InitBreakdown;
-use crate::optimizer::{optimize, OptimizationOutcome};
-use crate::profile::ProfileStore;
-use crate::sampler::SamplerAttachment;
+use crate::detect::InefficiencyReport;
+use crate::optimizer::OptimizationOutcome;
+use crate::stage::{GateDecision, PipelineCtx, StageEngine};
 use crate::utilization::Utilization;
 
 /// Pipeline configuration.
@@ -72,6 +74,50 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Sets the platform parameters.
+    #[must_use]
+    pub fn with_platform(mut self, platform: PlatformConfig) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the profiler parameters.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: SamplerConfig) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Sets the detector thresholds.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the number of cold starts per measurement run.
+    #[must_use]
+    pub fn with_cold_starts(mut self, cold_starts: usize) -> Self {
+        self.cold_starts = cold_starts;
+        self
+    }
+
+    /// Sets the experiment seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Ships profile batches over the asynchronous collector channel.
+    #[must_use]
+    pub fn with_async_collector(mut self, enabled: bool) -> Self {
+        self.async_collector = enabled;
+        self
+    }
+}
+
 /// Errors from a pipeline run.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -80,6 +126,10 @@ pub enum PipelineError {
     Workload(WorkloadError),
     /// The application faulted (an unsafe optimization would surface here).
     Fault(RuntimeFault),
+    /// A custom stage composition ended without producing the stage
+    /// product named here (e.g. halted early, or a required stage was
+    /// removed), so no [`PipelineOutcome`] can be formed.
+    Incomplete(&'static str),
 }
 
 impl fmt::Display for PipelineError {
@@ -87,6 +137,9 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Workload(e) => write!(f, "workload error: {e}"),
             PipelineError::Fault(e) => write!(f, "runtime fault: {e}"),
+            PipelineError::Incomplete(what) => {
+                write!(f, "stage composition left `{what}` unproduced")
+            }
         }
     }
 }
@@ -110,6 +163,8 @@ impl From<RuntimeFault> for PipelineError {
 pub struct PipelineOutcome {
     /// Metrics of the unmodified application.
     pub baseline: AppMetrics,
+    /// The observational gate verdict from baseline measurements.
+    pub gate: GateDecision,
     /// Metrics of the profiled (sampler-attached) run — its e2e inflation
     /// over the baseline is the profiler overhead (Fig. 9).
     pub profiled: AppMetrics,
@@ -150,6 +205,32 @@ impl PipelineOutcome {
             .as_ref()
             .is_some_and(|o| !o.edits.is_empty())
     }
+
+    /// Packages a completed stage context into an outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Incomplete`] naming the first missing
+    /// stage product when the composition did not run the full cycle.
+    pub fn from_ctx(ctx: PipelineCtx) -> Result<Self, PipelineError> {
+        let final_app = ctx.final_app();
+        Ok(PipelineOutcome {
+            baseline: ctx.baseline.ok_or(PipelineError::Incomplete("baseline"))?,
+            gate: ctx.gate.ok_or(PipelineError::Incomplete("gate"))?,
+            profiled: ctx.profiled.ok_or(PipelineError::Incomplete("profiled"))?,
+            report: ctx.report.ok_or(PipelineError::Incomplete("report"))?,
+            optimization: ctx.optimization,
+            pre_deploy: ctx
+                .pre_deploy
+                .ok_or(PipelineError::Incomplete("pre_deploy"))?,
+            final_app,
+            optimized: ctx
+                .optimized
+                .ok_or(PipelineError::Incomplete("optimized"))?,
+            speedup: ctx.speedup.ok_or(PipelineError::Incomplete("speedup"))?,
+            cct: ctx.cct.ok_or(PipelineError::Incomplete("cct"))?,
+        })
+    }
 }
 
 /// The pipeline driver.
@@ -179,117 +260,25 @@ impl Pipeline {
         app: &Application,
         mix: &[(String, f64)],
     ) -> Result<PipelineOutcome, PipelineError> {
-        let cfg = &self.config;
-        let spec = WorkloadSpec::cold_starts_with_mix(mix, cfg.cold_starts);
-        let invocations = generate(&spec, app, cfg.seed)?;
+        self.run_with_engine(&StageEngine::canonical(&self.config), app, mix)
+    }
 
-        // 1. Baseline.
-        let base_app = Arc::new(app.clone());
-        let mut baseline_platform =
-            Platform::new(Arc::clone(&base_app), cfg.platform.clone(), cfg.seed ^ 0x1);
-        let baseline = AppMetrics::aggregate(baseline_platform.run(&invocations)?);
-
-        // 2–3. Profiling deployment. The sampler either writes straight
-        // into the shared store or ships encoded batches to the
-        // asynchronous collector, which drains them off the critical path.
-        let store = ProfileStore::shared();
-        let sampler_cfg = cfg.sampler;
-        let mut collector = if cfg.async_collector {
-            Some(AsyncCollector::start_with_store(Arc::clone(&store)))
-        } else {
-            None
-        };
-        let profiled_cfg = match &collector {
-            Some(c) => {
-                let sender = c.sender();
-                cfg.platform
-                    .clone()
-                    .with_observer_factory(Arc::new(move || {
-                        Box::new(SamplerAttachment::with_transport(
-                            sampler_cfg,
-                            sender.clone(),
-                        ))
-                    }))
-            }
-            None => {
-                let store_for_factory = Arc::clone(&store);
-                cfg.platform
-                    .clone()
-                    .with_observer_factory(Arc::new(move || {
-                        Box::new(SamplerAttachment::new(
-                            sampler_cfg,
-                            Arc::clone(&store_for_factory),
-                        ))
-                    }))
-            }
-        };
-        let mut profiling_platform =
-            Platform::new(Arc::clone(&base_app), profiled_cfg, cfg.seed ^ 0x2);
-        let profiled_records = profiling_platform.run(&invocations)?.to_vec();
-        if let Some(c) = collector.as_mut() {
-            // Wait until every in-flight batch is decoded into the store.
-            c.finish();
-        }
-        let profiled = AppMetrics::aggregate(&profiled_records);
-        let cold_count = profiled_records.iter().filter(|r| r.cold).count() as u64;
-
-        // 4. Analysis.
-        let store = store.lock();
-        let breakdown = InitBreakdown::from_store(
-            &store,
-            app,
-            cold_count.max(1),
-            SimDuration::from_millis_f64(baseline.mean_e2e_ms),
-        );
-        let utilization = Utilization::from_samples(store.samples.iter(), app);
-        let report = detect(app, &breakdown, &utilization, &cfg.detector);
-        let cct = Cct::from_samples(store.samples.iter());
-        drop(store);
-
-        // 5–6. Optimize and re-measure (or keep the baseline when gated
-        // out / nothing to do).
-        let (optimization, final_app) = if report.gate_passed && !report.findings.is_empty() {
-            let outcome = optimize(app, &report);
-            let new_app = Arc::new(outcome.app.clone());
-            (Some(outcome), new_app)
-        } else {
-            (None, Arc::clone(&base_app))
-        };
-
-        // 5b. Pre-deployment gate: the analyzer audits the artifact about
-        // to ship, with the profile's observed usage. Error-severity
-        // findings mean the deployment would be unsafe — roll back to the
-        // baseline rather than ship it.
-        let observed = utilization.to_observed();
-        let pre_deploy = slimstart_analyzer::Analyzer::with_default_passes()
-            .analyze(&final_app, Some(&observed));
-        let (optimization, final_app) = if pre_deploy.has_errors() && optimization.is_some() {
-            (None, Arc::clone(&base_app))
-        } else {
-            (optimization, final_app)
-        };
-
-        let optimized = if optimization.as_ref().is_some_and(|o| !o.edits.is_empty()) {
-            let mut optimized_platform =
-                Platform::new(Arc::clone(&final_app), cfg.platform.clone(), cfg.seed ^ 0x3);
-            let opt_invocations = generate(&spec, &final_app, cfg.seed)?;
-            AppMetrics::aggregate(optimized_platform.run(&opt_invocations)?)
-        } else {
-            baseline.clone()
-        };
-
-        let speedup = Speedup::between(&baseline, &optimized);
-        Ok(PipelineOutcome {
-            baseline,
-            profiled,
-            report,
-            optimization,
-            pre_deploy,
-            final_app,
-            optimized,
-            speedup,
-            cct,
-        })
+    /// Runs an arbitrary stage composition for `app` under the handler
+    /// `mix` and packages the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unresolvable workloads, runtime faults, or a
+    /// composition that did not produce a complete outcome.
+    pub fn run_with_engine(
+        &self,
+        engine: &StageEngine,
+        app: &Application,
+        mix: &[(String, f64)],
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let mut ctx = PipelineCtx::new(self.config.clone(), app, mix)?;
+        engine.run(&mut ctx)?;
+        PipelineOutcome::from_ctx(ctx)
     }
 
     /// Runs only the profiling deployment for `app` under `mix` and returns
@@ -305,25 +294,15 @@ impl Pipeline {
         app: &Application,
         mix: &[(String, f64)],
     ) -> Result<Utilization, PipelineError> {
-        let cfg = &self.config;
-        let spec = WorkloadSpec::cold_starts_with_mix(mix, cfg.cold_starts);
-        let invocations = generate(&spec, app, cfg.seed)?;
-        let base_app = Arc::new(app.clone());
-        let store = ProfileStore::shared();
-        let store_for_factory = Arc::clone(&store);
-        let sampler_cfg = cfg.sampler;
-        let profiled_cfg = cfg
-            .platform
-            .clone()
-            .with_observer_factory(Arc::new(move || {
-                Box::new(SamplerAttachment::new(
-                    sampler_cfg,
-                    Arc::clone(&store_for_factory),
-                ))
-            }));
-        let mut platform = Platform::new(Arc::clone(&base_app), profiled_cfg, cfg.seed ^ 0x2);
-        platform.run(&invocations)?;
-        let store = store.lock();
+        let mut ctx = PipelineCtx::new(self.config.clone(), app, mix)?;
+        StageEngine::new()
+            .then(crate::stage::ProfileStage)
+            .run(&mut ctx)?;
+        let store = ctx
+            .profile_store
+            .as_ref()
+            .expect("ProfileStage fills the store")
+            .lock();
         Ok(Utilization::from_samples(store.samples.iter(), app))
     }
 
@@ -372,11 +351,9 @@ mod tests {
     use slimstart_appmodel::catalog::by_code;
 
     fn quick_config() -> PipelineConfig {
-        PipelineConfig {
-            cold_starts: 40,
-            platform: PlatformConfig::default().without_jitter(),
-            ..PipelineConfig::default()
-        }
+        PipelineConfig::default()
+            .with_cold_starts(40)
+            .with_platform(PlatformConfig::default().without_jitter())
     }
 
     #[test]
@@ -386,6 +363,7 @@ mod tests {
         let pipeline = Pipeline::new(quick_config());
         let out = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
         assert!(out.report.gate_passed);
+        assert!(out.gate.passed, "observational gate agrees");
         assert!(out.optimized_anything());
         // Paper reports 1.71× init / 1.66× e2e for R-GB; the platform's
         // fixed provision+runtime costs dilute it slightly — accept a band.
@@ -412,6 +390,7 @@ mod tests {
         let pipeline = Pipeline::new(quick_config());
         let out = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
         assert!(!out.report.gate_passed);
+        assert!(!out.gate.passed, "observational gate agrees");
         assert!(out.optimization.is_none());
         assert_eq!(out.speedup.e2e, 1.0);
         assert_eq!(out.speedup.init, 1.0);
@@ -457,5 +436,32 @@ mod tests {
         let b = pipeline.run(&built.app, &entry.workload_weights()).unwrap();
         assert_eq!(a.speedup, b.speedup);
         assert_eq!(a.baseline, b.baseline);
+    }
+
+    #[test]
+    fn builder_setters_cover_every_field() {
+        let cfg = PipelineConfig::default()
+            .with_platform(PlatformConfig::default().without_jitter())
+            .with_sampler(crate::config::SamplerConfig::default())
+            .with_detector(crate::config::DetectorConfig::default())
+            .with_cold_starts(77)
+            .with_seed(123)
+            .with_async_collector(true);
+        assert_eq!(cfg.cold_starts, 77);
+        assert_eq!(cfg.seed, 123);
+        assert!(cfg.async_collector);
+    }
+
+    #[test]
+    fn incomplete_composition_is_reported() {
+        let entry = by_code("FWB-FLT").unwrap();
+        let built = entry.build(11).unwrap();
+        let pipeline = Pipeline::new(quick_config());
+        // Baseline alone cannot form an outcome.
+        let engine = StageEngine::new().then(crate::stage::BaselineStage);
+        let err = pipeline
+            .run_with_engine(&engine, &built.app, &entry.workload_weights())
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Incomplete("gate")));
     }
 }

@@ -138,7 +138,10 @@ mod tests {
             2,
         );
         assert_eq!(store.samples.len(), 2);
-        assert_eq!(store.init_time(ModuleId::from_index(0)), SimDuration::from_micros(1_000));
+        assert_eq!(
+            store.init_time(ModuleId::from_index(0)),
+            SimDuration::from_micros(1_000)
+        );
         assert_eq!(store.init_time(ModuleId::from_index(9)), SimDuration::ZERO);
         assert_eq!(store.batches_transferred, 3);
         assert_eq!(store.runtime_sample_count(), 1);

@@ -113,8 +113,7 @@ impl ExecutionObserver for SamplerAttachment {
         // level — nested loads pause the outer module's top level).
         if let Some(init_frame) = ctx.stack.frames().iter().rev().find(|f| f.is_init()) {
             let module = init_frame.module(ctx.app);
-            *self.init_micros.entry(module).or_insert(0) +=
-                ctx.to.since(ctx.from).as_micros();
+            *self.init_micros.entry(module).or_insert(0) += ctx.to.since(ctx.from).as_micros();
         }
 
         // Statistical sampling at period boundaries.
@@ -144,11 +143,7 @@ impl ExecutionObserver for SamplerAttachment {
         match &self.sink {
             SampleSink::Direct(store) => {
                 let mut store = store.lock();
-                store.absorb(
-                    std::mem::take(&mut self.buffer),
-                    &self.init_micros,
-                    flushes,
-                );
+                store.absorb(std::mem::take(&mut self.buffer), &self.init_micros, flushes);
                 self.init_micros.clear();
                 store.invocations += 1;
             }
@@ -258,7 +253,10 @@ mod tests {
         let init = store.init_sample_count();
         let runtime = store.runtime_sample_count();
         assert!((19..=24).contains(&(init as usize)), "init = {init}");
-        assert!((18..=22).contains(&(runtime as usize)), "runtime = {runtime}");
+        assert!(
+            (18..=22).contains(&(runtime as usize)),
+            "runtime = {runtime}"
+        );
         // Runtime samples never contain init frames.
         for s in store.samples.iter().filter(|s| !s.is_init) {
             assert!(s.path.iter().all(|f| !f.is_init()));
@@ -298,7 +296,8 @@ mod tests {
             let store = ProfileStore::shared();
             let mut p = Process::new(Arc::clone(&app), 1.0);
             p.attach_observer(Box::new(SamplerAttachment::new(cfg, Arc::clone(&store))));
-            p.cold_start(app.module_by_name("handler").unwrap()).unwrap();
+            p.cold_start(app.module_by_name("handler").unwrap())
+                .unwrap();
             p.invoke(
                 app.handler_by_name("main").unwrap(),
                 &mut SimRng::seed_from(1),
@@ -311,10 +310,7 @@ mod tests {
         assert!(slow > base, "profiling overhead must inflate latency");
         // ~42 samples * 500us ≈ 21 ms.
         let extra = slow.since(base);
-        assert!(
-            (ms(15)..=ms(25)).contains(&extra),
-            "overhead = {extra}"
-        );
+        assert!((ms(15)..=ms(25)).contains(&extra), "overhead = {extra}");
     }
 
     #[test]
@@ -332,7 +328,8 @@ mod tests {
         // Simulate captures by pushing through a real run.
         let mut p = Process::new(Arc::clone(&app), 1.0);
         p.attach_observer(Box::new(attachment));
-        p.cold_start(app.module_by_name("handler").unwrap()).unwrap();
+        p.cold_start(app.module_by_name("handler").unwrap())
+            .unwrap();
         assert!(p.mem_kb() > 0); // buffered samples pinned
         p.invoke(
             app.handler_by_name("main").unwrap(),
@@ -360,7 +357,8 @@ mod tests {
         let store = ProfileStore::shared();
         let mut p = Process::new(Arc::clone(&app), 1.0);
         p.attach_observer(Box::new(SamplerAttachment::new(cfg, Arc::clone(&store))));
-        p.cold_start(app.module_by_name("handler").unwrap()).unwrap();
+        p.cold_start(app.module_by_name("handler").unwrap())
+            .unwrap();
         let out = p
             .invoke(
                 app.handler_by_name("main").unwrap(),

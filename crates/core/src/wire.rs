@@ -97,11 +97,7 @@ impl ProfileBatch {
     /// The exact size [`ProfileBatch::encode`] will produce, in bytes —
     /// what the simulated network transfer is charged for.
     pub fn encoded_len(&self) -> usize {
-        let samples: usize = self
-            .samples
-            .iter()
-            .map(|s| 1 + 2 + s.path.len() * 9)
-            .sum();
+        let samples: usize = self.samples.iter().map(|s| 1 + 2 + s.path.len() * 9).sum();
         4 + 4 + samples + 4 + self.init_micros.len() * 12
     }
 
@@ -228,10 +224,7 @@ mod tests {
         let mut raw = BytesMut::new();
         raw.put_u32_le(0xDEAD_BEEF);
         raw.put_u32_le(0);
-        assert_eq!(
-            ProfileBatch::decode(raw.freeze()),
-            Err(WireError::BadMagic)
-        );
+        assert_eq!(ProfileBatch::decode(raw.freeze()), Err(WireError::BadMagic));
     }
 
     #[test]

@@ -163,7 +163,8 @@ mod tests {
         b.add_import(h, root, 2, ImportMode::Global).unwrap();
         b.add_import(root, hot, 2, ImportMode::Global).unwrap();
         b.add_import(root, sdead, 3, ImportMode::Global).unwrap();
-        b.add_import(sdead, sdead_leaf, 2, ImportMode::Global).unwrap();
+        b.add_import(sdead, sdead_leaf, 2, ImportMode::Global)
+            .unwrap();
         b.add_import(root, sfx, 4, ImportMode::Global).unwrap();
         let f_hot = b.add_function("hot_fn", hot, 5, vec![]);
         let _f_dead = b.add_function("dead_fn", sdead, 5, vec![]);
@@ -245,10 +246,7 @@ mod tests {
             (0.08..0.18).contains(&frac),
             "stripped fraction = {frac:.3}"
         );
-        assert!(out
-            .stripped_packages
-            .iter()
-            .any(|p| p == "igraph.compat"));
+        assert!(out.stripped_packages.iter().any(|p| p == "igraph.compat"));
         // Workload-dead and rare packages must survive static analysis.
         assert!(!out.stripped_packages.iter().any(|p| p.contains("drawing")));
         assert!(!out.stripped_packages.iter().any(|p| p.contains("xmlio")));

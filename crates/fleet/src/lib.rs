@@ -1,0 +1,29 @@
+//! # slimstart-fleet
+//!
+//! The parallel fleet orchestrator: runs the SLIMSTART pipeline over a
+//! population of N applications across a worker pool, producing an
+//! aggregated [`FleetReport`].
+//!
+//! The paper's CI/CD methodology (§III Fig. 4, §V-b) evaluates one
+//! application at a time; the ROADMAP north star is a production-scale
+//! system serving *fleets* of functions, and FaaSLight likewise evaluates
+//! across hundreds of real applications. This crate provides that scale
+//! without giving up the repo's determinism discipline:
+//!
+//! * **Deterministic fan-out.** Every per-app seed is split from the one
+//!   experiment seed *sequentially, up front* (see
+//!   [`orchestrator::FleetOrchestrator`]), before any worker starts. Work
+//!   distribution only decides *when* an app runs, never *with which
+//!   randomness*, and results land in index-addressed slots — so the
+//!   serialized [`FleetReport`] is byte-identical for `--threads 1` and
+//!   `--threads 8`.
+//! * **Aggregation.** Per-app speedups, fleet-wide percentiles via
+//!   [`slimstart_simcore::stats`], an analyzer-findings rollup, and
+//!   wall-clock throughput (reported separately from the deterministic
+//!   JSON, since wall-clock is inherently nondeterministic).
+
+pub mod orchestrator;
+pub mod report;
+
+pub use orchestrator::{FleetConfig, FleetError, FleetOrchestrator, FleetRunStats};
+pub use report::{AppRecord, FleetReport, SpeedupDistribution};

@@ -1,0 +1,384 @@
+//! The aggregated fleet report.
+//!
+//! Everything in a [`FleetReport`] is a deterministic function of the
+//! fleet configuration (population, experiment seed, cold starts, runs):
+//! per-app rows are keyed by population index, fleet-wide distributions
+//! come from [`slimstart_simcore::stats::Percentiles`] over those rows,
+//! and the JSON writer is the same hand-rolled style as
+//! `slimstart-core/src/export.rs`. Wall-clock timing deliberately lives
+//! in [`crate::FleetRunStats`], *outside* this report, so serialized
+//! output is byte-identical regardless of worker-pool size.
+
+use std::fmt::Write as _;
+
+use slimstart_platform::metrics::Speedup;
+use slimstart_simcore::stats::Percentiles;
+
+/// Escapes a string for inclusion in JSON output.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float the JSON way (finite; NaN/inf become null).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One application's row in the fleet report.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Position in the fleet population (stable across thread counts).
+    pub index: usize,
+    /// Catalog code (e.g. `R-GB`).
+    pub code: String,
+    /// Full application name.
+    pub name: String,
+    /// The per-app seed split from the experiment seed.
+    pub seed: u64,
+    /// Whether the profile-informed 10 % init-share gate passed.
+    pub gate_passed: bool,
+    /// Whether any import edits shipped.
+    pub optimized: bool,
+    /// Whether the pre-deployment verifier rolled the deployment back.
+    pub rolled_back: bool,
+    /// Detector findings (flagged packages).
+    pub findings: usize,
+    /// Packages actually deferred by the optimizer.
+    pub deferred: usize,
+    /// Pre-deployment analyzer diagnostics: errors.
+    pub analyzer_errors: usize,
+    /// Pre-deployment analyzer diagnostics: warnings.
+    pub analyzer_warnings: usize,
+    /// Mean speedup over the configured measurement runs.
+    pub speedup: Speedup,
+    /// Baseline cold-start init latency, ms (last run).
+    pub baseline_init_ms: f64,
+    /// Baseline end-to-end latency, ms (last run).
+    pub baseline_e2e_ms: f64,
+    /// Final-deployment end-to-end latency, ms (last run).
+    pub optimized_e2e_ms: f64,
+}
+
+impl AppRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"index\":{},\"code\":\"{}\",\"name\":\"{}\",\"seed\":{},\"gate_passed\":{},\"optimized\":{},\"rolled_back\":{},\"findings\":{},\"deferred\":{},\"analyzer_errors\":{},\"analyzer_warnings\":{},\"speedup\":{{\"init\":{},\"load\":{},\"e2e\":{},\"p99_e2e\":{},\"mem\":{}}},\"baseline_init_ms\":{},\"baseline_e2e_ms\":{},\"optimized_e2e_ms\":{}}}",
+            self.index,
+            escape(&self.code),
+            escape(&self.name),
+            self.seed,
+            self.gate_passed,
+            self.optimized,
+            self.rolled_back,
+            self.findings,
+            self.deferred,
+            self.analyzer_errors,
+            self.analyzer_warnings,
+            num(self.speedup.init),
+            num(self.speedup.load),
+            num(self.speedup.e2e),
+            num(self.speedup.p99_e2e),
+            num(self.speedup.mem),
+            num(self.baseline_init_ms),
+            num(self.baseline_e2e_ms),
+            num(self.optimized_e2e_ms),
+        )
+    }
+}
+
+/// Fleet-wide distribution of one speedup dimension across applications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupDistribution {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SpeedupDistribution {
+    /// Computes the distribution over a non-empty value set; zeros when
+    /// empty.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let p: Percentiles = values.into_iter().collect();
+        if p.is_empty() {
+            return SpeedupDistribution {
+                mean: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let sorted_min = p.quantile(0.0).unwrap_or(0.0);
+        SpeedupDistribution {
+            mean: p.mean().unwrap_or(0.0),
+            median: p.median().unwrap_or(0.0),
+            p90: p.quantile(0.90).unwrap_or(0.0),
+            p99: p.p99().unwrap_or(0.0),
+            min: sorted_min,
+            max: p.quantile(1.0).unwrap_or(0.0),
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"mean\":{},\"median\":{},\"p90\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+            num(self.mean),
+            num(self.median),
+            num(self.p90),
+            num(self.p99),
+            num(self.min),
+            num(self.max),
+        )
+    }
+}
+
+/// The aggregated result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The experiment seed all per-app streams were split from.
+    pub seed: u64,
+    /// Cold starts per measurement run.
+    pub cold_starts: usize,
+    /// Measurement runs averaged per application (`SLIMSTART_RUNS`).
+    pub runs: usize,
+    /// Per-application rows, in population order.
+    pub apps: Vec<AppRecord>,
+    /// Fleet-wide distribution of cold-init speedups.
+    pub init_speedup: SpeedupDistribution,
+    /// Fleet-wide distribution of end-to-end speedups.
+    pub e2e_speedup: SpeedupDistribution,
+    /// Fleet-wide distribution of memory reductions.
+    pub mem_reduction: SpeedupDistribution,
+    /// Applications whose profile-informed gate passed.
+    pub gate_passed_count: usize,
+    /// Applications that shipped at least one import edit.
+    pub optimized_count: usize,
+    /// Applications rolled back by the pre-deployment verifier.
+    pub rolled_back_count: usize,
+    /// Total detector findings across the fleet.
+    pub findings_total: usize,
+    /// Total deferred packages across the fleet.
+    pub deferred_total: usize,
+    /// Total pre-deployment analyzer warnings across the fleet.
+    pub analyzer_warnings_total: usize,
+}
+
+impl FleetReport {
+    /// Aggregates per-app rows into the fleet report.
+    pub fn from_records(seed: u64, cold_starts: usize, runs: usize, apps: Vec<AppRecord>) -> Self {
+        let init_speedup = SpeedupDistribution::from_values(apps.iter().map(|a| a.speedup.init));
+        let e2e_speedup = SpeedupDistribution::from_values(apps.iter().map(|a| a.speedup.e2e));
+        let mem_reduction = SpeedupDistribution::from_values(apps.iter().map(|a| a.speedup.mem));
+        FleetReport {
+            seed,
+            cold_starts,
+            runs,
+            gate_passed_count: apps.iter().filter(|a| a.gate_passed).count(),
+            optimized_count: apps.iter().filter(|a| a.optimized).count(),
+            rolled_back_count: apps.iter().filter(|a| a.rolled_back).count(),
+            findings_total: apps.iter().map(|a| a.findings).sum(),
+            deferred_total: apps.iter().map(|a| a.deferred).sum(),
+            analyzer_warnings_total: apps.iter().map(|a| a.analyzer_warnings).sum(),
+            init_speedup,
+            e2e_speedup,
+            mem_reduction,
+            apps,
+        }
+    }
+
+    /// Serializes the report. Deterministic: depends only on the fleet
+    /// configuration, never on thread count or wall-clock.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(out, "\"seed\":{},", self.seed);
+        let _ = write!(out, "\"cold_starts\":{},", self.cold_starts);
+        let _ = write!(out, "\"runs\":{},", self.runs);
+        let _ = write!(out, "\"fleet_size\":{},", self.apps.len());
+        let _ = write!(out, "\"gate_passed\":{},", self.gate_passed_count);
+        let _ = write!(out, "\"optimized\":{},", self.optimized_count);
+        let _ = write!(out, "\"rolled_back\":{},", self.rolled_back_count);
+        let _ = write!(out, "\"findings_total\":{},", self.findings_total);
+        let _ = write!(out, "\"deferred_total\":{},", self.deferred_total);
+        let _ = write!(
+            out,
+            "\"analyzer_warnings_total\":{},",
+            self.analyzer_warnings_total
+        );
+        let _ = write!(out, "\"init_speedup\":{},", self.init_speedup.to_json());
+        let _ = write!(out, "\"e2e_speedup\":{},", self.e2e_speedup.to_json());
+        let _ = write!(out, "\"mem_reduction\":{},", self.mem_reduction.to_json());
+        out.push_str("\"apps\":[");
+        for (i, app) in self.apps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&app.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders a human-readable fleet summary table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<5} {:<9} {:<26} {:>5} {:>9} {:>9} {:>9}  NOTES",
+            "#", "CODE", "NAME", "GATE", "INITx", "E2Ex", "MEMx"
+        );
+        for a in &self.apps {
+            let mut notes = Vec::new();
+            if a.optimized {
+                notes.push(format!("{} deferred", a.deferred));
+            }
+            if a.rolled_back {
+                notes.push("rolled back".to_string());
+            }
+            let _ = writeln!(
+                out,
+                "{:<5} {:<9} {:<26} {:>5} {:>9.2} {:>9.2} {:>9.2}  {}",
+                a.index,
+                a.code,
+                a.name,
+                if a.gate_passed { "yes" } else { "no" },
+                a.speedup.init,
+                a.speedup.e2e,
+                a.speedup.mem,
+                notes.join(", ")
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "fleet: {} apps | {} above gate | {} optimized | {} rolled back | {} findings",
+            self.apps.len(),
+            self.gate_passed_count,
+            self.optimized_count,
+            self.rolled_back_count,
+            self.findings_total,
+        );
+        let _ = writeln!(
+            out,
+            "init speedup : mean {:.2}x  median {:.2}x  p90 {:.2}x  p99 {:.2}x",
+            self.init_speedup.mean,
+            self.init_speedup.median,
+            self.init_speedup.p90,
+            self.init_speedup.p99,
+        );
+        let _ = writeln!(
+            out,
+            "e2e speedup  : mean {:.2}x  median {:.2}x  p90 {:.2}x  p99 {:.2}x",
+            self.e2e_speedup.mean,
+            self.e2e_speedup.median,
+            self.e2e_speedup.p90,
+            self.e2e_speedup.p99,
+        );
+        let _ = writeln!(
+            out,
+            "mem reduction: mean {:.2}x  median {:.2}x  p90 {:.2}x  p99 {:.2}x",
+            self.mem_reduction.mean,
+            self.mem_reduction.median,
+            self.mem_reduction.p90,
+            self.mem_reduction.p99,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, init: f64, e2e: f64) -> AppRecord {
+        AppRecord {
+            index,
+            code: format!("X-{index}"),
+            name: format!("app {index}"),
+            seed: index as u64,
+            gate_passed: init > 1.0,
+            optimized: init > 1.0,
+            rolled_back: false,
+            findings: usize::from(init > 1.0),
+            deferred: usize::from(init > 1.0),
+            analyzer_errors: 0,
+            analyzer_warnings: 1,
+            speedup: Speedup {
+                init,
+                load: init,
+                e2e,
+                p99_init: init,
+                p99_load: init,
+                p99_e2e: e2e,
+                mem: 1.1,
+            },
+            baseline_init_ms: 400.0,
+            baseline_e2e_ms: 500.0,
+            optimized_e2e_ms: 500.0 / e2e,
+        }
+    }
+
+    #[test]
+    fn aggregation_counts_and_percentiles() {
+        let apps = vec![
+            record(0, 2.0, 1.5),
+            record(1, 1.0, 1.0),
+            record(2, 1.6, 1.3),
+        ];
+        let report = FleetReport::from_records(7, 100, 1, apps);
+        assert_eq!(report.gate_passed_count, 2);
+        assert_eq!(report.optimized_count, 2);
+        assert_eq!(report.findings_total, 2);
+        assert_eq!(report.analyzer_warnings_total, 3);
+        assert!((report.init_speedup.median - 1.6).abs() < 1e-9);
+        assert!((report.init_speedup.max - 2.0).abs() < 1e-9);
+        assert!((report.init_speedup.min - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let report = FleetReport::from_records(7, 100, 2, vec![record(0, 2.0, 1.5)]);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"fleet_size\":1"));
+        assert!(json.contains("\"runs\":2"));
+        assert!(json.contains("\"code\":\"X-0\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_fleet_serializes() {
+        let report = FleetReport::from_records(7, 100, 1, Vec::new());
+        assert!(report.to_json().contains("\"apps\":[]"));
+        assert_eq!(report.init_speedup.mean, 0.0);
+    }
+}

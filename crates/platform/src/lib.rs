@@ -38,3 +38,25 @@ pub mod platform;
 pub use invocation::{Invocation, InvocationRecord};
 pub use metrics::AppMetrics;
 pub use platform::{ObserverFactory, Platform, PlatformConfig};
+
+#[cfg(test)]
+mod thread_safety {
+    //! The fleet orchestrator shares configurations and collects results
+    //! across worker threads; these assertions pin the Send/Sync contract
+    //! so a non-thread-safe field (an `Rc`, a raw pointer) cannot sneak in
+    //! unnoticed.
+
+    use super::*;
+    use crate::metrics::Speedup;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn fleet_shared_types_are_send_and_sync() {
+        assert_send_sync::<PlatformConfig>();
+        assert_send_sync::<AppMetrics>();
+        assert_send_sync::<Speedup>();
+        assert_send_sync::<Invocation>();
+        assert_send_sync::<InvocationRecord>();
+    }
+}

@@ -63,11 +63,7 @@ impl AppMetrics {
             mean_exec_ms: exec.mean().unwrap_or(0.0),
             mean_e2e_ms: e2e.mean().unwrap_or(0.0),
             p99_e2e_ms: e2e.p99().unwrap_or(0.0),
-            peak_mem_mb: mem
-                .values()
-                .iter()
-                .copied()
-                .fold(0.0_f64, f64::max),
+            peak_mem_mb: mem.values().iter().copied().fold(0.0_f64, f64::max),
             mean_mem_mb: mem.mean().unwrap_or(0.0),
         }
     }

@@ -189,8 +189,7 @@ impl Platform {
         let now = inv.at;
         // Reclaim expired containers first (keep-alive policy).
         let keep_alive = self.config.keep_alive;
-        self.containers
-            .retain(|c| !c.expired_at(now, keep_alive));
+        self.containers.retain(|c| !c.expired_at(now, keep_alive));
 
         // Prefer the warm container that has been idle the longest.
         let warm = self

@@ -421,7 +421,8 @@ mod tests {
             },
         )
         .unwrap();
-        b.add_import(cold, cold_leaf, 2, ImportMode::Global).unwrap();
+        b.add_import(cold, cold_leaf, 2, ImportMode::Global)
+            .unwrap();
         let f_hot = b.add_function(
             "work",
             hot,
@@ -657,10 +658,7 @@ mod tests {
         assert_eq!(init, ms(88) + SimDuration::from_micros(500));
         let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
         // 1 work advance (+100us) + invocation-end flush (1ms).
-        assert_eq!(
-            out.exec_time,
-            ms(4) + SimDuration::from_micros(100) + ms(1)
-        );
+        assert_eq!(out.exec_time, ms(4) + SimDuration::from_micros(100) + ms(1));
         assert_eq!(p.mem_kb(), 128 + 256 + 1_000 + 5_000 + 2_000 + 512);
         assert!(p.has_observer());
         assert!(p.detach_observer().is_some());

@@ -159,7 +159,10 @@ mod tests {
             q.schedule(SimTime::from_millis(ms), ms);
         }
         let due = q.pop_due(SimTime::from_millis(3));
-        assert_eq!(due.iter().map(|(_, p)| *p).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            due.iter().map(|(_, p)| *p).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(q.len(), 2);
     }
 

@@ -42,10 +42,20 @@ impl SimRng {
     /// and the parent advances by exactly one draw, so sibling splits are
     /// mutually independent and reproducible.
     pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from(self.split_seed())
+    }
+
+    /// Derives the seed a [`SimRng::split`] child would be constructed
+    /// with, advancing the parent by one draw.
+    ///
+    /// Useful when the consumer wants to *record* per-component seeds
+    /// (e.g. the fleet orchestrator's per-app seeds) rather than hold
+    /// generator instances: `SimRng::seed_from(rng.split_seed())` is
+    /// identical to `rng.split()`.
+    pub fn split_seed(&mut self) -> u64 {
         // Mix the drawn value so that consecutive splits land on distant
         // seeds even if the underlying stream were low-entropy.
-        let raw = self.inner.next_u64();
-        SimRng::seed_from(splitmix64(raw))
+        splitmix64(self.inner.next_u64())
     }
 
     /// Draws the next `u64`.

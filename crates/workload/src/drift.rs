@@ -172,9 +172,7 @@ mod tests {
     fn generated_stream_reflects_drift() {
         let app = app();
         let s = schedule();
-        let invs = s
-            .generate(&app, 100, SimDuration::from_secs(1), 7)
-            .unwrap();
+        let invs = s.generate(&app, 100, SimDuration::from_secs(1), 7).unwrap();
         let main = app.handler_by_name("main").unwrap();
         let admin = app.handler_by_name("admin").unwrap();
         // First 50 requests hit main, rest hit admin.

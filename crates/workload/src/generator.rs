@@ -64,8 +64,8 @@ pub fn generate(
     if weights.iter().all(|w| *w <= 0.0) {
         return Err(WorkloadError::AllWeightsZero);
     }
-    let mix = Empirical::new(&weights)
-        .map_err(|_| WorkloadError::InvalidArrival("handler weights"))?;
+    let mix =
+        Empirical::new(&weights).map_err(|_| WorkloadError::InvalidArrival("handler weights"))?;
 
     let arrivals = arrival_times(&spec.arrival, &mut rng)?;
     Ok(arrivals
@@ -89,13 +89,11 @@ fn arrival_times(
                     "cold-start gap must be positive",
                 ));
             }
-            Ok((0..count)
-                .map(|i| SimTime::ZERO + gap * i as u64)
-                .collect())
+            Ok((0..count).map(|i| SimTime::ZERO + gap * i as u64).collect())
         }
-        ArrivalProcess::ClosedLoop { count, gap } => Ok((0..count)
-            .map(|i| SimTime::ZERO + gap * i as u64)
-            .collect()),
+        ArrivalProcess::ClosedLoop { count, gap } => {
+            Ok((0..count).map(|i| SimTime::ZERO + gap * i as u64).collect())
+        }
         ArrivalProcess::Poisson {
             rate_per_sec,
             duration,
@@ -256,7 +254,10 @@ mod tests {
                 gap: SimDuration::from_millis(1),
             },
         };
-        assert_eq!(generate(&spec, &app(), 1), Err(WorkloadError::AllWeightsZero));
+        assert_eq!(
+            generate(&spec, &app(), 1),
+            Err(WorkloadError::AllWeightsZero)
+        );
     }
 
     #[test]

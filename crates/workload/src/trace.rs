@@ -90,11 +90,7 @@ impl TraceApp {
             return 0.0;
         }
         match (self.probabilities(window - 1), self.probabilities(window)) {
-            (Some(prev), Some(cur)) => prev
-                .iter()
-                .zip(&cur)
-                .map(|(a, b)| (a - b).abs())
-                .sum(),
+            (Some(prev), Some(cur)) => prev.iter().zip(&cur).map(|(a, b)| (a - b).abs()).sum(),
             _ => 0.0,
         }
     }
@@ -127,7 +123,10 @@ impl ProductionTrace {
     ///
     /// Panics if the config is degenerate (zero apps, days or window).
     pub fn generate(config: TraceConfig, seed: u64) -> Self {
-        assert!(config.apps > 0 && config.days > 0, "degenerate trace config");
+        assert!(
+            config.apps > 0 && config.days > 0,
+            "degenerate trace config"
+        );
         assert!(!config.window.is_zero(), "window must be positive");
         let mut rng = SimRng::seed_from(seed);
         let windows_total =
@@ -292,7 +291,11 @@ mod tests {
         let cdf = trace().invocation_cdf_by_rank();
         // Paper: the top few handlers account for over 80 % of invocations.
         assert!(cdf[0] > 0.6, "top-1 share = {}", cdf[0]);
-        assert!(cdf[2.min(cdf.len() - 1)] > 0.8, "top-3 share = {:?}", &cdf[..3]);
+        assert!(
+            cdf[2.min(cdf.len() - 1)] > 0.8,
+            "top-3 share = {:?}",
+            &cdf[..3]
+        );
         // CDF is monotone and bounded.
         assert!(cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         assert!(cdf.last().is_some_and(|v| (*v - 1.0).abs() < 1e-6));
@@ -312,10 +315,7 @@ mod tests {
             .map(|(_, (_, frac))| *frac)
             .sum::<f64>()
             / (timeline.len() - 3) as f64;
-        assert!(
-            spike_a > stable + 0.1,
-            "spike {spike_a} vs stable {stable}"
-        );
+        assert!(spike_a > stable + 0.1, "spike {spike_a} vs stable {stable}");
         assert!(spike_b > stable + 0.1);
     }
 

@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== CI/CD loop with adaptive re-profiling ==\n");
 
     // ---------------- Round 1: optimize for the deployment-time workload.
-    let config = PipelineConfig {
-        cold_starts: 200,
-        ..PipelineConfig::default()
-    };
+    let config = PipelineConfig::default().with_cold_starts(200);
     let pipeline = Pipeline::new(config.clone());
     let day_one_mix = vec![("handler".to_string(), 1.0), ("admin".to_string(), 0.0)];
     let round1 = pipeline.run(&app, &day_one_mix)?;
@@ -52,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let at = SimTime::ZERO + monitor_cfg.window * window;
         let admin_share = if window < 4 { 0 } else { 30 };
         for i in 0..100 {
-            let h: HandlerId = if i < admin_share { admin_id } else { handler_id };
+            let h: HandlerId = if i < admin_share {
+                admin_id
+            } else {
+                handler_id
+            };
             if let Some(d) = monitor.record(h, at) {
                 decision = Some((window, d));
             }
@@ -64,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  window @ {:>5.0} h: dp = {:.3} {}",
             w.start.as_secs_f64() / 3600.0,
             w.delta,
-            if w.triggered { "<- TRIGGER profiling" } else { "" }
+            if w.triggered {
+                "<- TRIGGER profiling"
+            } else {
+                ""
+            }
         );
     }
     let (at_window, AdaptiveDecision::TriggerProfiling { delta }) = decision
@@ -74,7 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .enumerate()
                 .find(|(_, w)| w.triggered)
-                .map(|(i, w)| (i as u64, AdaptiveDecision::TriggerProfiling { delta: w.delta }))
+                .map(|(i, w)| {
+                    (
+                        i as u64,
+                        AdaptiveDecision::TriggerProfiling { delta: w.delta },
+                    )
+                })
         })
         .expect("the drift must trigger");
     println!("\nadaptive mechanism fired at window {at_window} (dp = {delta:.3} > eps = 0.002)\n");
@@ -104,9 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|o| o.deferred_packages.clone())
         .unwrap_or_default();
     let revived: Vec<&String> = r1.iter().filter(|p| !r2.contains(p)).collect();
-    println!(
-        "\npackages re-warmed because the drifted workload now uses them: {revived:?}"
-    );
+    println!("\npackages re-warmed because the drifted workload now uses them: {revived:?}");
     println!("(stale optimizations would have paid their load cost on 30% of requests)");
     Ok(())
 }

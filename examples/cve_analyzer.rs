@@ -19,10 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Case study: CVE binary analyzer ==\n");
 
-    let config = PipelineConfig {
-        cold_starts: 500,
-        ..PipelineConfig::default()
-    };
+    let config = PipelineConfig::default().with_cold_starts(500);
     let outcome = Pipeline::new(config).run(&built.app, &entry.workload_weights())?;
 
     println!("{}", render(&outcome.report, &built.app));

@@ -87,10 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Run the full SlimStart pipeline:
     //    baseline -> gate -> profile -> detect -> optimize -> re-measure.
     // ------------------------------------------------------------------
-    let config = PipelineConfig {
-        cold_starts: 300,
-        ..PipelineConfig::default()
-    };
+    let config = PipelineConfig::default().with_cold_starts(300);
     let outcome = Pipeline::new(config).run(&app, &[("serve".to_string(), 1.0)])?;
 
     println!("== SlimStart quickstart ==\n");
@@ -100,7 +97,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "optimized: init {:>7.1} ms   e2e {:>7.1} ms   peak mem {:>6.1} MB",
-        outcome.optimized.mean_init_ms, outcome.optimized.mean_e2e_ms, outcome.optimized.peak_mem_mb
+        outcome.optimized.mean_init_ms,
+        outcome.optimized.mean_e2e_ms,
+        outcome.optimized.peak_mem_mb
     );
     println!(
         "speedup  : init {:.2}x   e2e {:.2}x   memory {:.2}x\n",

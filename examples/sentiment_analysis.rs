@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         built.app.avg_module_depth()
     );
 
-    let config = PipelineConfig {
-        cold_starts: 300,
-        ..PipelineConfig::default()
-    };
+    let config = PipelineConfig::default().with_cold_starts(300);
     let outcome = Pipeline::new(config).run(&built.app, &entry.workload_weights())?;
 
     // The paper's Table IV report.

@@ -35,7 +35,11 @@ fn main() {
 
     println!("invocation CDF by handler rank (Fig. 3-2):");
     for (rank, share) in trace.invocation_cdf_by_rank().iter().take(6).enumerate() {
-        println!("  top-{:<2}: {:>5.1}% of invocations", rank + 1, share * 100.0);
+        println!(
+            "  top-{:<2}: {:>5.1}% of invocations",
+            rank + 1,
+            share * 100.0
+        );
     }
 
     println!("\ndrift timeline (Fig. 10, eps = 0.002):");

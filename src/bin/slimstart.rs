@@ -13,8 +13,18 @@
 //! slimstart source <CODE> <MODULE>          rendered source of a module
 //! slimstart graph <CODE> [--optimized]      import graph as Graphviz DOT
 //! slimstart trace [--seed <S>]              production-trace statistics
+//! slimstart fleet [options]                 optimize a fleet of N apps
+//!     --apps <N>                            fleet size (default 22)
+//!     --threads <T>                         worker threads (default: cores)
+//!     --runs <R>                            averaged runs per app (default 1)
+//!     --seed <S> / --cold-starts <N>        experiment parameters
+//!     --json                                machine-readable output
 //! slimstart help                            this text
 //! ```
+//!
+//! `fleet` output is byte-identical for any `--threads` value at the same
+//! seed — the worker pool decides when an application runs, never with
+//! which randomness.
 //!
 //! `lint` exits 1 when any error-severity diagnostic is reported and 0
 //! otherwise (warnings and infos alone do not fail the build).
@@ -27,6 +37,7 @@ use slimstart::appmodel::source::render_module;
 use slimstart::core::export::outcome_to_json;
 use slimstart::core::pipeline::{Pipeline, PipelineConfig};
 use slimstart::core::report::render;
+use slimstart::fleet::{FleetConfig, FleetOrchestrator};
 use slimstart::workload::trace::{ProductionTrace, TraceConfig};
 
 fn main() -> ExitCode {
@@ -49,6 +60,7 @@ fn main() -> ExitCode {
         "source" => cmd_source(&args[1..]),
         "graph" => cmd_graph(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -75,6 +87,7 @@ USAGE:
     slimstart source <CODE> <MODULE>
     slimstart graph <CODE> [--optimized] [--seed S]
     slimstart trace [--seed S]
+    slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
     slimstart help
 
 Run `cargo bench -p slimstart-bench` to regenerate every paper table/figure."
@@ -126,12 +139,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let async_collector = args.iter().any(|a| a == "--async-collector");
 
     let built = entry.build(seed).map_err(|e| e.to_string())?;
-    let config = PipelineConfig {
-        cold_starts,
-        seed,
-        async_collector,
-        ..PipelineConfig::default()
-    };
+    let config = PipelineConfig::default()
+        .with_cold_starts(cold_starts)
+        .with_seed(seed)
+        .with_async_collector(async_collector);
     let pipeline = Pipeline::new(config);
     let outcomes = pipeline
         .run_iterative(&built.app, &entry.workload_weights(), rounds.max(1))
@@ -195,11 +206,9 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     let json = args.iter().any(|a| a == "--json");
 
     let built = entry.build(seed).map_err(|e| e.to_string())?;
-    let config = PipelineConfig {
-        cold_starts,
-        seed,
-        ..PipelineConfig::default()
-    };
+    let config = PipelineConfig::default()
+        .with_cold_starts(cold_starts)
+        .with_seed(seed);
     // One profiling deployment gives the over-approximation auditor its
     // observed-usage view; the other passes are purely static.
     let utilization = Pipeline::new(config)
@@ -247,11 +256,9 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
     let seed = flag_value(args, "--seed")?.unwrap_or(2025);
     let built = entry.build(seed).map_err(|e| e.to_string())?;
     if args.iter().any(|a| a == "--optimized") {
-        let config = PipelineConfig {
-            cold_starts: 100,
-            seed,
-            ..PipelineConfig::default()
-        };
+        let config = PipelineConfig::default()
+            .with_cold_starts(100)
+            .with_seed(seed);
         let outcome = Pipeline::new(config)
             .run(&built.app, &entry.workload_weights())
             .map_err(|e| e.to_string())?;
@@ -261,6 +268,44 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
         );
     } else {
         print!("{}", slimstart::appmodel::dot::import_graph_dot(&built.app));
+    }
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let apps = flag_value(args, "--apps")?.unwrap_or(22) as usize;
+    let threads = match flag_value(args, "--threads")? {
+        Some(t) => t as usize,
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    };
+    let seed = flag_value(args, "--seed")?.unwrap_or(2025);
+    let cold_starts = flag_value(args, "--cold-starts")?.unwrap_or(500) as usize;
+    let runs = flag_value(args, "--runs")?.unwrap_or(1) as usize;
+    let json = args.iter().any(|a| a == "--json");
+    if apps == 0 {
+        return Err("--apps must be at least 1".to_string());
+    }
+
+    let config = FleetConfig::default()
+        .with_apps(apps)
+        .with_threads(threads.max(1))
+        .with_seed(seed)
+        .with_cold_starts(cold_starts)
+        .with_runs(runs.max(1));
+    let (report, stats) = FleetOrchestrator::new(config)
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    if json {
+        // Wall-clock stats stay on stderr: stdout is the deterministic,
+        // thread-count-independent report.
+        println!("{}", report.to_json());
+        eprintln!("{stats}");
+    } else {
+        print!("{}", report.render_text());
+        println!("{stats}");
     }
     Ok(())
 }

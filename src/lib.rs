@@ -18,7 +18,16 @@
 //!   adaptive mechanism, CI/CD pipeline);
 //! * [`faaslight`] — the static-analysis baseline;
 //! * [`analyzer`] — the static-analysis pass framework (deferral-safety
-//!   verifier, import lints, over-approximation auditor).
+//!   verifier, import lints, over-approximation auditor);
+//! * [`fleet`] — the parallel fleet orchestrator (deterministic fan-out of
+//!   N applications across a worker pool, aggregated [`FleetReport`]).
+//!
+//! The CI/CD pipeline itself is a composition of [`Stage`]s over a shared
+//! [`PipelineCtx`](slimstart_core::stage::PipelineCtx); see [`stages`] for
+//! cross-crate adapters such as the FaaSLight strip stage.
+//!
+//! [`FleetReport`]: slimstart_fleet::FleetReport
+//! [`Stage`]: slimstart_core::stage::Stage
 //!
 //! # Quickstart
 //!
@@ -41,10 +50,13 @@ pub use slimstart_analyzer as analyzer;
 pub use slimstart_appmodel as appmodel;
 pub use slimstart_core as core;
 pub use slimstart_faaslight as faaslight;
+pub use slimstart_fleet as fleet;
 pub use slimstart_platform as platform;
 pub use slimstart_pyrt as pyrt;
 pub use slimstart_simcore as simcore;
 pub use slimstart_workload as workload;
+
+pub mod stages;
 
 /// The most commonly used items, for `use slimstart::prelude::*`.
 pub mod prelude {
@@ -52,6 +64,8 @@ pub mod prelude {
     pub use slimstart_appmodel::{AppBuilder, Application, ImportMode};
     pub use slimstart_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
     pub use slimstart_core::{AdaptiveConfig, AdaptiveMonitor, Cct, DetectorConfig, SamplerConfig};
+    pub use slimstart_core::{Stage, StageEngine, StageStatus};
+    pub use slimstart_fleet::{FleetConfig, FleetOrchestrator, FleetReport};
     pub use slimstart_platform::{AppMetrics, Platform, PlatformConfig};
     pub use slimstart_simcore::{SimDuration, SimRng, SimTime};
     pub use slimstart_workload::{ProductionTrace, TraceConfig, WorkloadSpec};

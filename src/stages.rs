@@ -1,0 +1,54 @@
+//! Cross-crate [`Stage`] adapters.
+//!
+//! The stage engine lives in `slimstart-core`; the FaaSLight baseline lives
+//! in `slimstart-faaslight`, which `slimstart-analyzer` (and therefore
+//! `slimstart-core`) depends on. Adapters that plug baseline techniques
+//! into the engine therefore live here, in the facade crate that sees both
+//! sides, rather than forcing a dependency cycle lower in the stack.
+
+use std::sync::Arc;
+
+use slimstart_core::pipeline::PipelineError;
+use slimstart_core::stage::{PipelineCtx, Stage, StageStatus};
+use slimstart_faaslight::strip_unreachable;
+
+/// A FaaSLight-style alternate *optimize* stage.
+///
+/// Replaces SLIMSTART's profile-guided deferral with static call-graph
+/// stripping: packages unreachable from every entry function are removed
+/// outright. Swap it into the canonical engine with
+/// [`StageEngine::replace`](slimstart_core::stage::StageEngine::replace):
+///
+/// ```
+/// use slimstart::stages::StripStage;
+/// use slimstart_core::stage::StageEngine;
+/// use slimstart_core::pipeline::PipelineConfig;
+///
+/// let config = PipelineConfig::default();
+/// let engine = StageEngine::canonical(&config).replace("optimize", StripStage);
+/// assert!(engine.stage_names().contains(&"optimize"));
+/// ```
+///
+/// The stage produces no [`OptimizationOutcome`]
+/// (`outcome.optimization` stays `None`) — it publishes its candidate
+/// application directly, and the pre-deployment analyzer gate still vets
+/// it before the redeploy measurement.
+///
+/// [`OptimizationOutcome`]: slimstart_core::optimizer::OptimizationOutcome
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StripStage;
+
+impl Stage for StripStage {
+    fn name(&self) -> &'static str {
+        "optimize"
+    }
+
+    fn run(&self, ctx: &mut PipelineCtx) -> Result<StageStatus, PipelineError> {
+        let stripped = strip_unreachable(&ctx.app);
+        if !stripped.stripped_packages.is_empty() {
+            ctx.candidate = Some(Arc::new(stripped.app));
+            ctx.redeploy = true;
+        }
+        Ok(StageStatus::Continue)
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline stand-in for `crossbeam`, covering only `crossbeam::channel`.
+//!
+//! `std::sync::mpsc` provides the exact semantics the workspace needs
+//! from an unbounded crossbeam channel: cloneable senders, blocking
+//! receiver iteration that ends when every sender drops, and
+//! `send() -> Result`.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_and_clone() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn receiver_ends_when_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let worker = std::thread::spawn(move || rx.into_iter().count());
+        for _ in 0..10 {
+            tx.send(0).unwrap();
+        }
+        drop(tx);
+        assert_eq!(worker.join().unwrap(), 10);
+    }
+}

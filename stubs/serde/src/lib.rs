@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` on
+//! plain data types — all actual JSON in the repo is hand-rolled
+//! (`slimstart-core/src/export.rs`, `slimstart-fleet/src/report.rs`) so no
+//! code is generic over these traits. The derives expand to nothing and
+//! the traits are inert markers, which keeps the annotated sources
+//! compatible with real serde should the registry ever become reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

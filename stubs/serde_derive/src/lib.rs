@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! Nothing in the workspace is generic over serde's traits, so expanding
+//! to an empty token stream is sufficient: the `#[derive(...)]`
+//! annotations stay valid without generating impls.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -9,11 +9,9 @@ use slimstart::prelude::*;
 use slimstart::workload::drift::DriftSchedule;
 
 fn config() -> PipelineConfig {
-    PipelineConfig {
-        cold_starts: 40,
-        platform: PlatformConfig::default().without_jitter(),
-        ..PipelineConfig::default()
-    }
+    PipelineConfig::default()
+        .with_cold_starts(40)
+        .with_platform(PlatformConfig::default().without_jitter())
 }
 
 #[test]
@@ -40,10 +38,7 @@ fn drift_triggers_and_reoptimization_revives_needed_packages() {
         vec!["handler".to_string(), "admin".to_string()],
         vec![1.0, 0.0],
     )
-    .with_episode(
-        SimTime::ZERO + SimDuration::from_hours(36),
-        vec![0.6, 0.4],
-    );
+    .with_episode(SimTime::ZERO + SimDuration::from_hours(36), vec![0.6, 0.4]);
     let stream = schedule
         .generate(&built.app, 4_000, SimDuration::from_mins(1), 71)
         .expect("stream");
@@ -94,11 +89,7 @@ fn stable_workload_does_not_retrigger() {
     for i in 0..20_000u64 {
         let h = if i % 10 == 0 { admin } else { main };
         let at = SimTime::ZERO + SimDuration::from_mins(i);
-        assert_eq!(
-            monitor.record(h, at),
-            None,
-            "stable mix must never trigger"
-        );
+        assert_eq!(monitor.record(h, at), None, "stable mix must never trigger");
     }
     monitor.flush();
     assert_eq!(monitor.trigger_count(), 0);

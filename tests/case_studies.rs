@@ -6,14 +6,20 @@ use slimstart::core::detect::UsageClass;
 use slimstart::core::pipeline::{Pipeline, PipelineConfig};
 use slimstart::core::report::{import_path, render};
 
-fn run(code: &str, cold_starts: usize) -> (slimstart::appmodel::Application, slimstart::core::pipeline::PipelineOutcome) {
+fn run(
+    code: &str,
+    cold_starts: usize,
+) -> (
+    slimstart::appmodel::Application,
+    slimstart::core::pipeline::PipelineOutcome,
+) {
     let entry = by_code(code).expect("catalog entry");
     let built = entry.build(2025).expect("builds");
-    let outcome = Pipeline::new(PipelineConfig {
-        cold_starts,
-        seed: 2025,
-        ..PipelineConfig::default()
-    })
+    let outcome = Pipeline::new(
+        PipelineConfig::default()
+            .with_cold_starts(cold_starts)
+            .with_seed(2025),
+    )
     .run(&built.app, &entry.workload_weights())
     .expect("pipeline runs");
     (built.app, outcome)
@@ -51,9 +57,21 @@ fn rsa_case_study_table_iv() {
     assert!(opt.deferred_packages.contains(&"nltk.sem".to_string()));
 
     // Band checks vs the published 1.35x / 1.33x / 1.07x.
-    assert!((1.25..=1.45).contains(&out.speedup.load), "{}", out.speedup.load);
-    assert!((1.22..=1.42).contains(&out.speedup.e2e), "{}", out.speedup.e2e);
-    assert!((1.02..=1.12).contains(&out.speedup.mem), "{}", out.speedup.mem);
+    assert!(
+        (1.25..=1.45).contains(&out.speedup.load),
+        "{}",
+        out.speedup.load
+    );
+    assert!(
+        (1.22..=1.42).contains(&out.speedup.e2e),
+        "{}",
+        out.speedup.e2e
+    );
+    assert!(
+        (1.02..=1.12).contains(&out.speedup.mem),
+        "{}",
+        out.speedup.mem
+    );
 
     // The rendered report carries the call path into the flagged package.
     let text = render(&out.report, &app);
@@ -89,12 +107,28 @@ fn cve_case_study_table_v() {
     let handler_mod = app.module_by_name("handler").expect("handler");
     let hops = import_path(&app, handler_mod, "xmlschema").expect("reachable");
     assert_eq!(hops.first().map(|(f, _)| f.as_str()), Some("handler.py"));
-    assert!(hops.last().map(|(f, _)| f.as_str()).unwrap_or("").starts_with("xmlschema/"));
+    assert!(hops
+        .last()
+        .map(|(f, _)| f.as_str())
+        .unwrap_or("")
+        .starts_with("xmlschema/"));
 
     // Band checks vs the published 1.27x / 1.20x / 1.21x.
-    assert!((1.18..=1.36).contains(&out.speedup.load), "{}", out.speedup.load);
-    assert!((1.12..=1.28).contains(&out.speedup.e2e), "{}", out.speedup.e2e);
-    assert!((1.12..=1.30).contains(&out.speedup.mem), "{}", out.speedup.mem);
+    assert!(
+        (1.18..=1.36).contains(&out.speedup.load),
+        "{}",
+        out.speedup.load
+    );
+    assert!(
+        (1.12..=1.28).contains(&out.speedup.e2e),
+        "{}",
+        out.speedup.e2e
+    );
+    assert!(
+        (1.12..=1.30).contains(&out.speedup.mem),
+        "{}",
+        out.speedup.mem
+    );
 }
 
 #[test]
@@ -141,11 +175,11 @@ fn seventeen_of_twenty_two_with_inefficiencies() {
     let mut detected = 0;
     for entry in slimstart::appmodel::catalog::catalog() {
         let built = entry.build(2025).expect("builds");
-        let out = Pipeline::new(PipelineConfig {
-            cold_starts: 8,
-            seed: 2025,
-            ..PipelineConfig::default()
-        })
+        let out = Pipeline::new(
+            PipelineConfig::default()
+                .with_cold_starts(8)
+                .with_seed(2025),
+        )
         .run(&built.app, &entry.workload_weights())
         .expect("runs");
         if out.report.gate_passed && !out.report.findings.is_empty() {

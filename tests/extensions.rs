@@ -12,11 +12,9 @@ use slimstart::core::wire::ProfileBatch;
 use slimstart::platform::PlatformConfig;
 
 fn config(cold_starts: usize) -> PipelineConfig {
-    PipelineConfig {
-        cold_starts,
-        platform: PlatformConfig::default().without_jitter(),
-        ..PipelineConfig::default()
-    }
+    PipelineConfig::default()
+        .with_cold_starts(cold_starts)
+        .with_platform(PlatformConfig::default().without_jitter())
 }
 
 #[test]
@@ -38,10 +36,7 @@ fn async_collector_pipeline_matches_direct_pipeline() {
     // optimization, same measured speedups.
     assert_eq!(direct.report.findings, channelled.report.findings);
     assert_eq!(direct.speedup, channelled.speedup);
-    assert_eq!(
-        direct.cct.total_samples(),
-        channelled.cct.total_samples()
-    );
+    assert_eq!(direct.cct.total_samples(), channelled.cct.total_samples());
 }
 
 #[test]

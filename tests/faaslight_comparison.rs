@@ -41,11 +41,11 @@ fn slimstart_beats_static_analysis_on_workload_skewed_apps() {
         let static_metrics = run_app(Arc::new(stripped.app), &mix, 40, 9);
 
         // SlimStart: full pipeline.
-        let out = Pipeline::new(PipelineConfig {
-            cold_starts: 40,
-            platform: PlatformConfig::default().without_jitter(),
-            ..PipelineConfig::default()
-        })
+        let out = Pipeline::new(
+            PipelineConfig::default()
+                .with_cold_starts(40)
+                .with_platform(PlatformConfig::default().without_jitter()),
+        )
         .run(&built.app, &mix)
         .expect("pipeline runs");
 
@@ -97,15 +97,18 @@ fn static_analysis_misses_workload_dead_packages() {
         "static analysis must keep the reachable drawing package"
     );
     assert!(
-        stripped.stripped_packages.iter().any(|p| p == "igraph.compat"),
+        stripped
+            .stripped_packages
+            .iter()
+            .any(|p| p == "igraph.compat"),
         "static analysis should remove the truly unreachable package"
     );
 
-    let out = Pipeline::new(PipelineConfig {
-        cold_starts: 40,
-        platform: PlatformConfig::default().without_jitter(),
-        ..PipelineConfig::default()
-    })
+    let out = Pipeline::new(
+        PipelineConfig::default()
+            .with_cold_starts(40)
+            .with_platform(PlatformConfig::default().without_jitter()),
+    )
     .run(&built.app, &entry.workload_weights())
     .expect("runs");
     let opt = out.optimization.expect("optimized");
@@ -130,7 +133,10 @@ fn indirect_calls_pin_libraries_for_static_analysis_only() {
         .enumerate()
         .filter(|(i, _)| analysis.is_pinned(slimstart::appmodel::LibraryId::from_index(*i)))
         .count();
-    assert!(pinned >= 1, "indirect dispatch must pin at least one library");
+    assert!(
+        pinned >= 1,
+        "indirect dispatch must pin at least one library"
+    );
 }
 
 #[test]

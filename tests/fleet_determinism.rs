@@ -1,0 +1,92 @@
+//! Fleet-orchestrator determinism: the serialized [`FleetReport`] must be
+//! byte-identical regardless of worker-pool size, because per-app RNG
+//! streams are split from the experiment seed sequentially before any
+//! worker starts (thread scheduling decides *when* an app runs, never
+//! *with which randomness*).
+
+use slimstart::fleet::{FleetConfig, FleetOrchestrator, FleetReport};
+use slimstart::platform::PlatformConfig;
+use slimstart_core::pipeline::PipelineConfig;
+
+fn run(threads: usize) -> FleetReport {
+    let config = FleetConfig::default()
+        .with_apps(6)
+        .with_threads(threads)
+        .with_seed(2025)
+        .with_cold_starts(10)
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        );
+    let (report, stats) = FleetOrchestrator::new(config).run().expect("fleet runs");
+    assert!(stats.threads <= threads.max(1));
+    report
+}
+
+#[test]
+fn one_thread_and_eight_threads_emit_byte_identical_json() {
+    let sequential = run(1);
+    let parallel = run(8);
+    assert_eq!(
+        sequential.to_json(),
+        parallel.to_json(),
+        "FleetReport JSON must not depend on worker count"
+    );
+}
+
+#[test]
+fn report_rows_follow_population_order() {
+    let report = run(4);
+    let codes: Vec<&str> = report.apps.iter().map(|a| a.code.as_str()).collect();
+    let expected: Vec<&str> = slimstart::appmodel::catalog::fleet_population(6)
+        .iter()
+        .map(|e| e.code)
+        .collect();
+    assert_eq!(codes, expected);
+    for (i, app) in report.apps.iter().enumerate() {
+        assert_eq!(app.index, i);
+    }
+}
+
+#[test]
+fn different_seeds_change_per_app_streams() {
+    let base = run(2);
+    let config = FleetConfig::default()
+        .with_apps(6)
+        .with_threads(2)
+        .with_seed(31)
+        .with_cold_starts(10)
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        );
+    let (other, _) = FleetOrchestrator::new(config).run().expect("fleet runs");
+    let base_seeds: Vec<u64> = base.apps.iter().map(|a| a.seed).collect();
+    let other_seeds: Vec<u64> = other.apps.iter().map(|a| a.seed).collect();
+    assert_ne!(base_seeds, other_seeds);
+}
+
+#[test]
+fn honors_runs_averaging_in_the_fleet_path() {
+    // SLIMSTART_RUNS semantics: `runs` in the config is what the bench
+    // runner wires the env var to; the report must carry it and the
+    // averaged speedups must stay plausible.
+    let config = FleetConfig::default()
+        .with_apps(2)
+        .with_threads(2)
+        .with_seed(7)
+        .with_cold_starts(10)
+        .with_runs(3)
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        );
+    let (report, _) = FleetOrchestrator::new(config).run().expect("fleet runs");
+    assert_eq!(report.runs, 3);
+    assert!(report.to_json().contains("\"runs\":3"));
+    for app in &report.apps {
+        assert!(
+            app.speedup.init >= 0.9,
+            "{}: {}",
+            app.code,
+            app.speedup.init
+        );
+    }
+}

@@ -16,11 +16,9 @@ use slimstart::workload::generator::generate;
 use slimstart::workload::spec::WorkloadSpec;
 
 fn jitterless(cold_starts: usize) -> PipelineConfig {
-    PipelineConfig {
-        cold_starts,
-        platform: PlatformConfig::default().without_jitter(),
-        ..PipelineConfig::default()
-    }
+    PipelineConfig::default()
+        .with_cold_starts(cold_starts)
+        .with_platform(PlatformConfig::default().without_jitter())
 }
 
 /// Pure compute time of an invocation: execution minus deferred loading.
@@ -49,8 +47,11 @@ fn optimized_app_performs_identical_work() {
         let spec = WorkloadSpec::cold_starts_with_mix(&mix, 60);
         let invs = generate(&spec, &built.app, 77).expect("workload");
 
-        let mut base =
-            Platform::new(Arc::new(built.app.clone()), PlatformConfig::default().without_jitter(), 1);
+        let mut base = Platform::new(
+            Arc::new(built.app.clone()),
+            PlatformConfig::default().without_jitter(),
+            1,
+        );
         let base_records = base.run(&invs).expect("baseline never faults").to_vec();
 
         let mut opt = Platform::new(
@@ -89,7 +90,10 @@ fn deferred_modules_load_exactly_once_per_container() {
     let handler_mod = app.module_by_name("handler").expect("handler");
     process.cold_start(handler_mod).expect("no fault");
     let xml = app.module_by_name("xmlschema").expect("xmlschema");
-    assert!(!process.is_loaded(xml), "deferred module must not load eagerly");
+    assert!(
+        !process.is_loaded(xml),
+        "deferred module must not load eagerly"
+    );
 
     let handler = app.handler_by_name("handler").expect("handler");
     let mut first_load_seen = false;
@@ -101,7 +105,10 @@ fn deferred_modules_load_exactly_once_per_container() {
             break;
         }
     }
-    assert!(first_load_seen, "the 0.8% branch should fire within 3000 tries");
+    assert!(
+        first_load_seen,
+        "the 0.8% branch should fire within 3000 tries"
+    );
     let loads_before = process.load_events().len();
     for seed in 10_000..10_500u64 {
         let mut rng = slimstart::simcore::rng::SimRng::seed_from(seed);

@@ -5,11 +5,9 @@ use slimstart::core::pipeline::{Pipeline, PipelineConfig};
 use slimstart::platform::PlatformConfig;
 
 fn config(cold_starts: usize) -> PipelineConfig {
-    PipelineConfig {
-        cold_starts,
-        platform: PlatformConfig::default().without_jitter(),
-        ..PipelineConfig::default()
-    }
+    PipelineConfig::default()
+        .with_cold_starts(cold_starts)
+        .with_platform(PlatformConfig::default().without_jitter())
 }
 
 #[test]
@@ -26,13 +24,20 @@ fn gate_separates_seventeen_from_five() {
             assert!(entry.above_gate(), "{} unexpectedly above gate", entry.code);
         } else {
             below += 1;
-            assert!(!entry.above_gate(), "{} unexpectedly below gate", entry.code);
+            assert!(
+                !entry.above_gate(),
+                "{} unexpectedly below gate",
+                entry.code
+            );
             // Gated-out apps are left untouched.
             assert!(out.optimization.is_none());
             assert_eq!(out.speedup.e2e, 1.0);
         }
     }
-    assert_eq!(above, 17, "paper: 17 of 22 applications show inefficiencies");
+    assert_eq!(
+        above, 17,
+        "paper: 17 of 22 applications show inefficiencies"
+    );
     assert_eq!(below, 5);
 }
 
@@ -116,7 +121,11 @@ fn rare_library_pays_only_on_the_rare_path() {
     assert!(opt.deferred_packages.iter().any(|p| p == "xmlschema"));
     // After optimization the cold-start init no longer contains xmlschema,
     // so mean init drops by at least its share.
-    assert!(out.speedup.load > 1.15, "load speedup {:.2}", out.speedup.load);
+    assert!(
+        out.speedup.load > 1.15,
+        "load speedup {:.2}",
+        out.speedup.load
+    );
     // p99 speedup is dented by the rare path (paper: 1.08x init p99).
     assert!(
         out.speedup.p99_e2e < out.speedup.e2e + 0.05,

@@ -1,6 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated from seeded [`SimRng`] streams rather than a
+//! property-testing framework (the build environment is offline, so the
+//! workspace carries no such dependency): each test sweeps a fixed,
+//! deterministic family of random inputs and asserts the property on
+//! every case, reporting the case seed on failure.
 
 use slimstart::appmodel::app::AppBuilder;
 use slimstart::appmodel::function::{Stmt, StmtKind};
@@ -20,33 +24,52 @@ use slimstart::simcore::time::SimDuration;
 
 // ------------------------------------------------------------------ simcore
 
-proptest! {
-    #[test]
-    fn percentiles_match_naive_sort(values in prop::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..=1.0) {
+#[test]
+fn percentiles_match_naive_sort() {
+    let mut rng = SimRng::seed_from(0xA11CE);
+    for case in 0..64 {
+        let n = 1 + rng.next_below(199);
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
+        let q = rng.next_f64();
         let p: Percentiles = values.iter().copied().collect();
         let mut sorted = values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        prop_assert_eq!(p.quantile(q), Some(sorted[rank - 1]));
+        assert_eq!(p.quantile(q), Some(sorted[rank - 1]), "case {case} (q={q})");
     }
+}
 
-    #[test]
-    fn zipf_pmf_always_normalizes(n in 1usize..200, s in 0.0f64..3.0) {
+#[test]
+fn zipf_pmf_always_normalizes() {
+    let mut rng = SimRng::seed_from(0x21FF);
+    for case in 0..64 {
+        let n = 1 + rng.next_below(199);
+        let s = rng.uniform(0.0, 3.0);
         let z = Zipf::new(n, s).unwrap();
         let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "case {case}: pmf sums to {total} (n={n}, s={s})"
+        );
     }
+}
 
-    #[test]
-    fn empirical_sampling_stays_in_support(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed in 0u64..1000) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+#[test]
+fn empirical_sampling_stays_in_support() {
+    let mut rng = SimRng::seed_from(0xE3921);
+    for case in 0..64 {
+        let n = 1 + rng.next_below(19);
+        let weights: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 10.0)).collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
         let e = Empirical::new(&weights).unwrap();
-        let mut rng = SimRng::seed_from(seed);
+        let mut draw_rng = SimRng::seed_from(1000 + case);
         for _ in 0..100 {
-            let k = e.sample(&mut rng);
-            prop_assert!(k < weights.len());
+            let k = e.sample(&mut draw_rng);
+            assert!(k < weights.len(), "case {case}: index out of support");
             // Zero-weight categories never drawn.
-            prop_assert!(weights[k] > 0.0);
+            assert!(weights[k] > 0.0, "case {case}: zero-weight category drawn");
         }
     }
 }
@@ -69,31 +92,40 @@ fn arbitrary_paths(seed: u64, n: usize) -> Vec<(Vec<Frame>, bool)> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn cct_conserves_samples(seed in 0u64..500, n in 1usize..300) {
+#[test]
+fn cct_conserves_samples() {
+    let mut rng = SimRng::seed_from(0xCC7);
+    for case in 0..48 {
+        let seed = rng.next_u64() % 500;
+        let n = 1 + rng.next_below(299);
         let paths = arbitrary_paths(seed, n);
         let mut cct = Cct::new();
         for (path, is_init) in &paths {
             cct.insert(path, *is_init);
         }
-        prop_assert_eq!(cct.total_samples(), n as u64);
+        assert_eq!(cct.total_samples(), n as u64, "case {case}");
         let inclusive = cct.inclusive();
         // Escalation conserves mass at the root…
-        prop_assert_eq!(inclusive[0], n as u64);
+        assert_eq!(inclusive[0], n as u64, "case {case}");
         // …and inclusive >= self everywhere.
         for (i, node) in cct.nodes().iter().enumerate() {
-            prop_assert!(inclusive[i] >= node.self_samples);
+            assert!(inclusive[i] >= node.self_samples, "case {case}, node {i}");
         }
         // Parent inclusive >= child inclusive.
         for (i, node) in cct.nodes().iter().enumerate().skip(1) {
             let parent = node.parent.unwrap();
-            prop_assert!(inclusive[parent] >= inclusive[i]);
+            assert!(inclusive[parent] >= inclusive[i], "case {case}, node {i}");
         }
     }
+}
 
-    #[test]
-    fn cct_merge_conserves(seed_a in 0u64..100, seed_b in 100u64..200, n in 1usize..100) {
+#[test]
+fn cct_merge_conserves() {
+    let mut rng = SimRng::seed_from(0x3E26E);
+    for case in 0..48 {
+        let seed_a = rng.next_u64() % 100;
+        let seed_b = 100 + rng.next_u64() % 100;
+        let n = 1 + rng.next_below(99);
         let a_paths = arbitrary_paths(seed_a, n);
         let b_paths = arbitrary_paths(seed_b, n);
         let mut a = Cct::new();
@@ -106,18 +138,22 @@ proptest! {
         }
         let mut merged = a.clone();
         merged.merge(&b);
-        prop_assert_eq!(merged.total_samples(), 2 * n as u64);
+        assert_eq!(merged.total_samples(), 2 * n as u64, "case {case}");
         let init_total: u64 = merged.nodes().iter().map(|nd| nd.self_init_samples).sum();
         let expected: usize = a_paths.iter().chain(&b_paths).filter(|(_, i)| *i).count();
-        prop_assert_eq!(init_total, expected as u64);
+        assert_eq!(init_total, expected as u64, "case {case}");
     }
 }
 
 // ------------------------------------------------------------- utilization
 
-proptest! {
-    #[test]
-    fn utilization_is_bounded(seed in 0u64..300, n in 0usize..200) {
+#[test]
+fn utilization_is_bounded() {
+    let mut case_rng = SimRng::seed_from(0x07115);
+    for case in 0..48 {
+        let seed = case_rng.next_u64() % 300;
+        let n = case_rng.next_below(200);
+
         // One app-module function, one library function.
         let mut b = AppBuilder::new("t");
         let lib = b.add_library("lib");
@@ -144,12 +180,12 @@ proptest! {
             .collect();
         let u = Utilization::from_samples(samples.iter(), &app);
         for v in u.by_package.values() {
-            prop_assert!((0.0..=1.0).contains(v));
+            assert!((0.0..=1.0).contains(v), "case {case}: package util {v}");
         }
         for v in &u.by_library {
-            prop_assert!((0.0..=1.0).contains(v));
+            assert!((0.0..=1.0).contains(v), "case {case}: library util {v}");
         }
-        prop_assert!(u.total_runtime_samples as usize <= n);
+        assert!(u.total_runtime_samples as usize <= n, "case {case}");
     }
 }
 
@@ -225,52 +261,72 @@ fn random_blueprint(seed: u64) -> AppBlueprint {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn loader_is_idempotent_and_cost_exact(seed in 0u64..10_000) {
+#[test]
+fn loader_is_idempotent_and_cost_exact() {
+    let mut case_rng = SimRng::seed_from(0x10AD);
+    for case in 0..24 {
+        let seed = case_rng.next_u64() % 10_000;
         let built = slimstart::appmodel::synth::build_app(&random_blueprint(seed), seed).unwrap();
         let app = std::sync::Arc::new(built.app);
         let mut p = Process::new(std::sync::Arc::clone(&app), 1.0);
         let root = app.module_by_name("handler").unwrap();
         let init = p.cold_start(root).unwrap();
         // The loader pays exactly the structural eager cost.
-        prop_assert_eq!(init, app.eager_init_cost(root));
+        assert_eq!(init, app.eager_init_cost(root), "case {case} (seed {seed})");
         // Second cold start is free (everything cached).
         let again = p.cold_start(root).unwrap();
-        prop_assert_eq!(again, SimDuration::ZERO);
-        prop_assert_eq!(p.load_events().len(), app.eager_load_set(root).len());
+        assert_eq!(again, SimDuration::ZERO, "case {case} (seed {seed})");
+        assert_eq!(
+            p.load_events().len(),
+            app.eager_load_set(root).len(),
+            "case {case} (seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn pipeline_never_faults_and_never_regresses(seed in 0u64..2_000) {
+#[test]
+fn pipeline_never_faults_and_never_regresses() {
+    let mut case_rng = SimRng::seed_from(0x919E);
+    for case in 0..12 {
+        let seed = case_rng.next_u64() % 2_000;
         let built = slimstart::appmodel::synth::build_app(&random_blueprint(seed), seed).unwrap();
         let mix = vec![("main".to_string(), 1.0), ("admin".to_string(), 0.0)];
-        let config = slimstart::core::pipeline::PipelineConfig {
-            cold_starts: 12,
-            platform: slimstart::platform::PlatformConfig::default().without_jitter(),
-            ..Default::default()
-        };
+        let config = slimstart::core::pipeline::PipelineConfig::default()
+            .with_cold_starts(12)
+            .with_platform(slimstart::platform::PlatformConfig::default().without_jitter());
         let out = slimstart::core::pipeline::Pipeline::new(config)
             .run(&built.app, &mix)
             .unwrap();
-        prop_assert!(out.speedup.e2e >= 0.999, "e2e regressed: {}", out.speedup.e2e);
-        prop_assert!(out.speedup.init >= 0.999, "init regressed: {}", out.speedup.init);
+        assert!(
+            out.speedup.e2e >= 0.999,
+            "case {case} (seed {seed}): e2e regressed: {}",
+            out.speedup.e2e
+        );
+        assert!(
+            out.speedup.init >= 0.999,
+            "case {case} (seed {seed}): init regressed: {}",
+            out.speedup.init
+        );
         // Optimized app still serves the admin handler correctly.
         let mut p = Process::new(std::sync::Arc::clone(&out.final_app), 1.0);
         let root = out.final_app.module_by_name("handler").unwrap();
         p.cold_start(root).unwrap();
         let admin = out.final_app.handler_by_name("admin").unwrap();
-        prop_assert!(p.invoke(admin, &mut SimRng::seed_from(seed)).is_ok());
+        assert!(
+            p.invoke(admin, &mut SimRng::seed_from(seed)).is_ok(),
+            "case {case} (seed {seed})"
+        );
     }
 }
 
 // -------------------------------------------------------- interpreter paths
 
-proptest! {
-    #[test]
-    fn branch_statistics_match_probability(p in 0.0f64..=1.0, seed in 0u64..200) {
+#[test]
+fn branch_statistics_match_probability() {
+    let mut case_rng = SimRng::seed_from(0xB3A9C4);
+    for case in 0..24 {
+        let p = case_rng.next_f64();
+        let seed = case_rng.next_u64() % 200;
         let mut b = AppBuilder::new("t");
         let m = b.add_app_module("handler", SimDuration::ZERO, 0);
         let f = b.add_function(
@@ -301,17 +357,20 @@ proptest! {
             }
         }
         let rate = f64::from(fired) / f64::from(n);
-        prop_assert!((rate - p).abs() < 0.15, "rate {rate} vs p {p}");
+        assert!(
+            (rate - p).abs() < 0.15,
+            "case {case} (seed {seed}): rate {rate} vs p {p}"
+        );
     }
 }
 
 // ----------------------------------------------------- structural soundness
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn eager_set_is_closed_under_global_imports(seed in 0u64..10_000) {
+#[test]
+fn eager_set_is_closed_under_global_imports() {
+    let mut case_rng = SimRng::seed_from(0xEA93);
+    for case in 0..16 {
+        let seed = case_rng.next_u64() % 10_000;
         let built = slimstart::appmodel::synth::build_app(&random_blueprint(seed), seed).unwrap();
         let app = built.app;
         let root = app.module_by_name("handler").unwrap();
@@ -320,9 +379,9 @@ proptest! {
         for m in &set {
             for decl in app.imports_of(*m) {
                 if decl.mode.is_global() {
-                    prop_assert!(
+                    assert!(
                         set.contains(&decl.target),
-                        "eager set must be transitively closed"
+                        "case {case} (seed {seed}): eager set must be transitively closed"
                     );
                 }
             }

@@ -1,0 +1,93 @@
+//! Stage-composition contract: the pipeline engine accepts alternate
+//! optimize stages, and the pre-deployment analyzer gate still vets
+//! whatever candidate they publish.
+//!
+//! The canonical engine's optimize stage is SLIMSTART's profile-guided
+//! deferral; here it is swapped for the FaaSLight-style static strip stage
+//! (`slimstart::stages::StripStage`) and the composed pipeline must still
+//! run end to end, pass the pre-deployment gate, and never regress the
+//! deployment.
+
+use slimstart::appmodel::catalog::by_code;
+use slimstart::platform::PlatformConfig;
+use slimstart::stages::StripStage;
+use slimstart_core::pipeline::{Pipeline, PipelineConfig};
+use slimstart_core::stage::StageEngine;
+
+fn config() -> PipelineConfig {
+    PipelineConfig::default()
+        .with_cold_starts(30)
+        .with_seed(11)
+        .with_platform(PlatformConfig::default().without_jitter())
+}
+
+#[test]
+fn strip_stage_swaps_into_the_canonical_engine() {
+    let entry = by_code("R-GB").expect("catalog entry");
+    let built = entry.build(11).expect("builds");
+    let config = config();
+    let engine = StageEngine::canonical(&config).replace("optimize", StripStage);
+
+    let out = Pipeline::new(config)
+        .run_with_engine(&engine, &built.app, &entry.workload_weights())
+        .expect("composed pipeline runs");
+
+    // The strip stage publishes its candidate directly, without an
+    // optimizer outcome.
+    assert!(out.optimization.is_none());
+    // The pre-deployment analyzer vetted the artifact that shipped: no
+    // error-severity diagnostics survived (errors would have rolled the
+    // deployment back to baseline).
+    assert!(
+        !out.pre_deploy.has_errors(),
+        "strip candidate must pass the pre-deploy analyzer gate"
+    );
+    // Static stripping never regresses the deployment in this simulator:
+    // removed packages were unreachable from every entry function.
+    assert!(
+        out.speedup.e2e >= 1.0 - 1e-9,
+        "e2e speedup {} regressed",
+        out.speedup.e2e
+    );
+}
+
+#[test]
+fn swapped_engine_diverges_from_profile_guided_outcome() {
+    let entry = by_code("R-GB").expect("catalog entry");
+    let built = entry.build(11).expect("builds");
+    let config = config();
+
+    let canonical = Pipeline::new(config.clone())
+        .run(&built.app, &entry.workload_weights())
+        .expect("canonical pipeline runs");
+    let engine = StageEngine::canonical(&config).replace("optimize", StripStage);
+    let stripped = Pipeline::new(config)
+        .run_with_engine(&engine, &built.app, &entry.workload_weights())
+        .expect("composed pipeline runs");
+
+    // Profile-guided deferral sees the workload; static stripping cannot
+    // (paper Observation 2) — so SLIMSTART's e2e win is at least as large.
+    assert!(canonical.optimization.is_some());
+    assert!(
+        canonical.speedup.e2e >= stripped.speedup.e2e - 1e-9,
+        "profile-guided {} vs static {}",
+        canonical.speedup.e2e,
+        stripped.speedup.e2e
+    );
+    // Both compositions share the measurement stages, so baselines agree.
+    assert_eq!(
+        canonical.baseline.mean_e2e_ms,
+        stripped.baseline.mean_e2e_ms
+    );
+}
+
+#[test]
+fn engine_edits_compose_with_cross_crate_stages() {
+    let config = config();
+    let engine = StageEngine::canonical(&config)
+        .replace("optimize", StripStage)
+        .without("gate");
+    let names = engine.stage_names();
+    assert!(!names.contains(&"gate"));
+    assert!(names.contains(&"optimize"));
+}
