@@ -12,6 +12,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The conformance suites guard the chaos-off byte-identity contract and the
+# fault-injection invariants; run them by name so a test-harness filter or
+# workspace reshuffle can never silently drop them from the gate.
+echo "==> cargo test -q --test chaos_sweep --test golden_reports"
+cargo test -q --test chaos_sweep --test golden_reports
+
+# Disabled tests rot: nothing under tests/ may be #[ignore]d.
+echo "==> checking for #[ignore] in tests/"
+if grep -rn "#\[ignore" tests/*.rs; then
+    echo "error: #[ignore]d integration tests are not allowed" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -12,6 +12,7 @@ use slimstart_platform::metrics::{AppMetrics, Speedup};
 
 use crate::detect::{InefficiencyReport, UsageClass};
 use crate::pipeline::PipelineOutcome;
+use crate::resilience::ResilienceOutcome;
 
 /// Escapes a string for inclusion in JSON output.
 fn escape(s: &str) -> String {
@@ -124,8 +125,24 @@ pub fn speedup_to_json(s: &Speedup) -> String {
     )
 }
 
+/// Serializes a [`ResilienceOutcome`] (emitted only for chaos-enabled runs).
+pub fn resilience_to_json(r: &ResilienceOutcome) -> String {
+    format!(
+        "{{\"chaos_enabled\":{},\"faults_injected\":{},\"profile_retries\":{},\"deploy_retries\":{},\"backoff_ms\":{},\"degradation\":\"{}\",\"recovered\":{}}}",
+        r.chaos_enabled,
+        r.faults_injected,
+        r.profile_retries,
+        r.deploy_retries,
+        num(r.backoff_ms),
+        r.degradation.label(),
+        r.recovered,
+    )
+}
+
 /// Serializes a full [`PipelineOutcome`] summary (report, metrics, edits,
-/// pre-deployment analysis).
+/// pre-deployment analysis). A `resilience` object is appended **only**
+/// when the run had chaos enabled, keeping fault-free reports byte-identical
+/// to releases that predate fault injection (golden-tested).
 pub fn outcome_to_json(outcome: &PipelineOutcome) -> String {
     let mut out = String::new();
     out.push('{');
@@ -161,6 +178,13 @@ pub fn outcome_to_json(outcome: &PipelineOutcome) -> String {
     }
     out.push_str("],");
     let _ = write!(out, "\"pre_deploy\":{}", outcome.pre_deploy.render_json());
+    if outcome.resilience.chaos_enabled {
+        let _ = write!(
+            out,
+            ",\"resilience\":{}",
+            resilience_to_json(&outcome.resilience)
+        );
+    }
     out.push('}');
     out
 }

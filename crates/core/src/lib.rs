@@ -53,6 +53,7 @@ pub mod optimizer;
 pub mod pipeline;
 pub mod profile;
 pub mod report;
+pub mod resilience;
 pub mod sampler;
 pub mod stage;
 pub mod utilization;
@@ -65,9 +66,10 @@ pub use config::{AdaptiveConfig, DetectorConfig, SamplerConfig};
 pub use detect::{detect, InefficiencyReport};
 pub use history::ProfileHistory;
 pub use initprof::InitBreakdown;
-pub use optimizer::{optimize, OptimizationOutcome};
+pub use optimizer::{optimize, optimize_conservative, OptimizationOutcome};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
 pub use profile::{ProfileStore, SampleRecord};
+pub use resilience::{DegradationLevel, ResilienceLog, ResilienceOutcome, RetryPolicy};
 pub use sampler::SamplerAttachment;
 pub use stage::{
     AnalyzeStage, BaselineStage, GateDecision, GateStage, MeasureStage, OptimizeStage, PipelineCtx,
@@ -93,6 +95,8 @@ mod thread_safety {
         assert_send_sync::<Pipeline>();
         assert_send_sync::<StageEngine>();
         assert_send_sync::<GateDecision>();
+        assert_send_sync::<RetryPolicy>();
+        assert_send_sync::<ResilienceOutcome>();
     }
 
     #[test]

@@ -104,6 +104,72 @@ pub fn optimize(app: &Application, report: &InefficiencyReport) -> OptimizationO
     }
 }
 
+/// Conservative-mode optimization for runs whose profile was lost or
+/// truncated (the resilience ladder's middle rung): the detector's findings
+/// cannot be trusted — a rarely-used package may just have lost its samples
+/// — so this ignores the profile entirely and defers only packages that are
+/// *statically* never used: no handler's transitive call graph reaches
+/// them, and the deferral-safety verifier accepts them. Deferral stays
+/// behavior-preserving even if the static view is wrong (a deferred import
+/// still loads on first use, unlike FaaSLight's stripping), so this rung
+/// trades speedup for trust, never correctness.
+///
+/// Candidates are visited shallow-first (depth, then name) so a whole
+/// never-used package defers at its root, its subtree riding along, and
+/// the edit list is deterministic.
+pub fn optimize_conservative(app: &Application) -> OptimizationOutcome {
+    fn within(package: &str, parent: &str) -> bool {
+        package == parent
+            || (package.len() > parent.len()
+                && package.starts_with(parent)
+                && package.as_bytes()[parent.len()] == b'.')
+    }
+
+    let mut optimized = app.clone();
+    let mut edits = Vec::new();
+    let mut deferred_packages: Vec<String> = Vec::new();
+
+    let mut candidates: Vec<(usize, &str)> = app
+        .modules()
+        .iter()
+        .filter(|m| m.library().is_some())
+        .map(|m| (m.depth(), m.name()))
+        .collect();
+    candidates.sort_unstable();
+
+    let handler_fns: Vec<FunctionId> = app.handlers().iter().map(|h| h.function()).collect();
+    for (_, package) in candidates {
+        if deferred_packages.iter().any(|p| within(package, p)) {
+            continue;
+        }
+        let statically_used = handler_fns
+            .iter()
+            .any(|f| slimstart_appmodel::source::function_uses_package(app, *f, package));
+        if statically_used {
+            continue;
+        }
+        if verify_deferral(app, package).is_err() {
+            continue;
+        }
+        let boundary = boundary_imports(app, package);
+        if boundary.is_empty() {
+            continue;
+        }
+        for (importer, target, line) in boundary {
+            optimized.set_import_mode(importer, target, ImportMode::Deferred);
+            edits.push(make_edit(app, importer, target, line, package));
+        }
+        deferred_packages.push(package.to_string());
+    }
+
+    OptimizationOutcome {
+        app: optimized,
+        edits,
+        deferred_packages,
+        skipped: Vec::new(),
+    }
+}
+
 /// Finds a function that (transitively) calls into the deferred `package`,
 /// preferring handlers, to describe where the deferred import surfaces.
 fn first_use_site(app: &Application, package: &str) -> Option<FunctionId> {
@@ -328,5 +394,77 @@ mod tests {
         let out = optimize(&app, &report(vec![finding("totally.absent", true)]));
         assert!(out.edits.is_empty());
         assert!(out.deferred_packages.is_empty());
+    }
+
+    #[test]
+    fn conservative_defers_only_statically_unused_safe_packages() {
+        let app = app();
+        let out = optimize_conservative(&app);
+        // The handler chain reaches nltk.sem (so nltk and nltk.sem stay
+        // eager); nltk.stem is side-effectful (verifier refuses); only the
+        // never-called, side-effect-free nltk.sem.logic defers.
+        assert_eq!(out.deferred_packages, vec!["nltk.sem.logic".to_string()]);
+        let sem = out.app.module_by_name("nltk.sem").unwrap();
+        let logic = out.app.module_by_name("nltk.sem.logic").unwrap();
+        let decl = out
+            .app
+            .imports_of(sem)
+            .iter()
+            .find(|d| d.target == logic)
+            .unwrap();
+        assert!(decl.mode.is_deferred());
+    }
+
+    #[test]
+    fn conservative_defers_whole_unused_library_at_its_root() {
+        // A handler that never touches the library at all: the root defers
+        // and the subtree rides along (no per-child edits).
+        let mut b = AppBuilder::new("t");
+        let lib = b.add_library("pandas");
+        let h = b.add_app_module("handler", ms(1), 0);
+        let root = b.add_library_module("pandas", ms(5), 0, false, lib);
+        let sub = b.add_library_module("pandas.io", ms(30), 0, false, lib);
+        b.add_import(h, root, 2, slimstart_appmodel::ImportMode::Global)
+            .unwrap();
+        b.add_import(root, sub, 3, slimstart_appmodel::ImportMode::Global)
+            .unwrap();
+        let f = b.add_function(
+            "main",
+            h,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::Work(ms(1)),
+            }],
+        );
+        b.add_handler("main", f);
+        let app = b.finish().unwrap();
+
+        let out = optimize_conservative(&app);
+        assert_eq!(out.deferred_packages, vec!["pandas".to_string()]);
+        assert_eq!(
+            out.deferred_import_count(),
+            1,
+            "one boundary edit at the root"
+        );
+        // The internal pandas→pandas.io edge stays global.
+        let root = out.app.module_by_name("pandas").unwrap();
+        let sub = out.app.module_by_name("pandas.io").unwrap();
+        let internal = out
+            .app
+            .imports_of(root)
+            .iter()
+            .find(|d| d.target == sub)
+            .unwrap();
+        assert!(internal.mode.is_global());
+    }
+
+    #[test]
+    fn conservative_is_deterministic() {
+        let app = app();
+        let a = optimize_conservative(&app);
+        let b = optimize_conservative(&app);
+        assert_eq!(a.deferred_packages, b.deferred_packages);
+        assert_eq!(a.edits.len(), b.edits.len());
     }
 }

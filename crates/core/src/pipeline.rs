@@ -30,17 +30,25 @@ use std::fmt;
 use std::sync::Arc;
 
 use slimstart_appmodel::Application;
+use slimstart_platform::chaos::{ChaosConfig, ChaosPlan};
 use slimstart_platform::metrics::{AppMetrics, Speedup};
 use slimstart_platform::platform::PlatformConfig;
 use slimstart_pyrt::RuntimeFault;
+use slimstart_simcore::rng::SimRng;
 use slimstart_workload::generator::WorkloadError;
 
 use crate::cct::Cct;
 use crate::config::{DetectorConfig, SamplerConfig};
 use crate::detect::InefficiencyReport;
 use crate::optimizer::OptimizationOutcome;
+use crate::resilience::{ResilienceOutcome, RetryPolicy};
 use crate::stage::{GateDecision, PipelineCtx, StageEngine};
 use crate::utilization::Utilization;
+
+/// Tag XORed into the experiment seed to root the chaos stream, keeping it
+/// disjoint from the workload stream (`seed`) and the per-stage platform
+/// streams (`seed ^ 0x1..0x3`).
+const CHAOS_STREAM_TAG: u64 = 0x5EED_CA05;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +67,11 @@ pub struct PipelineConfig {
     /// (the paper's production transport, §IV-D) instead of the in-process
     /// store. Results are identical; the collector also reports wire bytes.
     pub async_collector: bool,
+    /// Fault-injection schedule shared by every deployment of this run.
+    /// Defaults to [`ChaosPlan::none`], a zero-overhead passthrough.
+    pub chaos: Arc<ChaosPlan>,
+    /// Retry budget and backoff shape for profile collection and redeploys.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -70,6 +83,8 @@ impl Default for PipelineConfig {
             cold_starts: 500,
             seed: 0xC0FFEE,
             async_collector: false,
+            chaos: Arc::new(ChaosPlan::none()),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -114,6 +129,31 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_async_collector(mut self, enabled: bool) -> Self {
         self.async_collector = enabled;
+        self
+    }
+
+    /// Enables fault injection per `config`, rooting the chaos stream off
+    /// the **current** experiment seed (call after [`Self::with_seed`]).
+    /// A fully-zero config keeps the passthrough plan.
+    #[must_use]
+    pub fn with_chaos(mut self, config: ChaosConfig) -> Self {
+        let chaos_seed = SimRng::seed_from(self.seed ^ CHAOS_STREAM_TAG).split_seed();
+        self.chaos = Arc::new(ChaosPlan::from_seed(config, chaos_seed));
+        self
+    }
+
+    /// Installs an already-seeded chaos plan (the fleet orchestrator builds
+    /// one per application from its own split seed stream).
+    #[must_use]
+    pub fn with_chaos_plan(mut self, chaos: Arc<ChaosPlan>) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Sets the retry/backoff policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -187,6 +227,9 @@ pub struct PipelineOutcome {
     pub speedup: Speedup,
     /// The calling-context tree built from the profile.
     pub cct: Cct,
+    /// Fault-handling summary: what chaos injected, what the retries
+    /// absorbed, and where on the degradation ladder the run landed.
+    pub resilience: ResilienceOutcome,
 }
 
 impl PipelineOutcome {
@@ -214,6 +257,7 @@ impl PipelineOutcome {
     /// stage product when the composition did not run the full cycle.
     pub fn from_ctx(ctx: PipelineCtx) -> Result<Self, PipelineError> {
         let final_app = ctx.final_app();
+        let resilience = ResilienceOutcome::from_parts(&ctx.chaos, &ctx.resilience);
         Ok(PipelineOutcome {
             baseline: ctx.baseline.ok_or(PipelineError::Incomplete("baseline"))?,
             gate: ctx.gate.ok_or(PipelineError::Incomplete("gate"))?,
@@ -229,6 +273,7 @@ impl PipelineOutcome {
                 .ok_or(PipelineError::Incomplete("optimized"))?,
             speedup: ctx.speedup.ok_or(PipelineError::Incomplete("speedup"))?,
             cct: ctx.cct.ok_or(PipelineError::Incomplete("cct"))?,
+            resilience,
         })
     }
 }
@@ -446,10 +491,30 @@ mod tests {
             .with_detector(crate::config::DetectorConfig::default())
             .with_cold_starts(77)
             .with_seed(123)
-            .with_async_collector(true);
+            .with_async_collector(true)
+            .with_retry(crate::resilience::RetryPolicy::default())
+            .with_chaos(ChaosConfig::uniform(0.5));
         assert_eq!(cfg.cold_starts, 77);
         assert_eq!(cfg.seed, 123);
         assert!(cfg.async_collector);
+        assert!(cfg.chaos.is_enabled());
+        // Zero-rate config keeps the passthrough plan.
+        let quiet = PipelineConfig::default().with_chaos(ChaosConfig::DISABLED);
+        assert!(!quiet.chaos.is_enabled());
+    }
+
+    #[test]
+    fn chaos_stream_seed_follows_the_experiment_seed() {
+        let a = PipelineConfig::default()
+            .with_seed(1)
+            .with_chaos(ChaosConfig::uniform(0.5));
+        let b = PipelineConfig::default()
+            .with_seed(2)
+            .with_chaos(ChaosConfig::uniform(0.5));
+        let draws = |cfg: &PipelineConfig| -> Vec<bool> {
+            (0..64).map(|_| cfg.chaos.deploy_fails()).collect()
+        };
+        assert_ne!(draws(&a), draws(&b), "chaos stream must track the seed");
     }
 
     #[test]

@@ -25,9 +25,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use slimstart_appmodel::Application;
+use slimstart_platform::chaos::ChaosPlan;
 use slimstart_platform::invocation::Invocation;
 use slimstart_platform::metrics::{AppMetrics, Speedup};
-use slimstart_platform::platform::Platform;
+use slimstart_platform::platform::{Platform, PlatformConfig};
 use slimstart_simcore::time::SimDuration;
 use slimstart_workload::generator::generate;
 use slimstart_workload::spec::WorkloadSpec;
@@ -36,9 +37,10 @@ use crate::cct::Cct;
 use crate::collector::AsyncCollector;
 use crate::detect::{detect, InefficiencyReport};
 use crate::initprof::InitBreakdown;
-use crate::optimizer::{optimize, OptimizationOutcome};
+use crate::optimizer::{optimize, optimize_conservative, OptimizationOutcome};
 use crate::pipeline::{PipelineConfig, PipelineError};
 use crate::profile::ProfileStore;
+use crate::resilience::ResilienceLog;
 use crate::sampler::SamplerAttachment;
 use crate::utilization::Utilization;
 
@@ -93,6 +95,11 @@ pub struct PipelineCtx {
     pub spec: WorkloadSpec,
     /// The invocation stream used by the baseline and profiling runs.
     pub invocations: Vec<Invocation>,
+    /// The run's fault-injection schedule (shared with every platform
+    /// deployment); [`ChaosPlan::none`] in normal operation.
+    pub chaos: Arc<ChaosPlan>,
+    /// Fault-handling journal the stages write as they retry and degrade.
+    pub resilience: ResilienceLog,
 
     /// Baseline metrics ([`BaselineStage`]).
     pub baseline: Option<AppMetrics>,
@@ -141,11 +148,14 @@ impl PipelineCtx {
     ) -> Result<Self, PipelineError> {
         let spec = WorkloadSpec::cold_starts_with_mix(mix, config.cold_starts);
         let invocations = generate(&spec, app, config.seed)?;
+        let chaos = Arc::clone(&config.chaos);
         Ok(PipelineCtx {
             config,
             app: Arc::new(app.clone()),
             spec,
             invocations,
+            chaos,
+            resilience: ResilienceLog::default(),
             baseline: None,
             gate: None,
             profiled: None,
@@ -210,6 +220,19 @@ pub trait Stage: Send + Sync {
 
 // ---------------------------------------------------------------- stages
 
+/// The platform configuration for one deployment of this run: the
+/// configured platform, plus the run's chaos plan when it is live (the
+/// passthrough plan is not attached, keeping the disabled path identical
+/// to a config that never heard of chaos).
+fn deployment_platform(ctx: &PipelineCtx) -> PlatformConfig {
+    let base = ctx.config.platform.clone();
+    if ctx.chaos.is_enabled() {
+        base.with_chaos(Arc::clone(&ctx.chaos))
+    } else {
+        base
+    }
+}
+
 /// Step 1: deploy the unmodified application and measure it.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BaselineStage;
@@ -220,9 +243,11 @@ impl Stage for BaselineStage {
     }
 
     fn run(&self, ctx: &mut PipelineCtx) -> Result<StageStatus, PipelineError> {
-        let cfg = &ctx.config;
-        let mut platform =
-            Platform::new(Arc::clone(&ctx.app), cfg.platform.clone(), cfg.seed ^ 0x1);
+        let mut platform = Platform::new(
+            Arc::clone(&ctx.app),
+            deployment_platform(ctx),
+            ctx.config.seed ^ 0x1,
+        );
         ctx.baseline = Some(AppMetrics::aggregate(platform.run(&ctx.invocations)?));
         Ok(StageStatus::Continue)
     }
@@ -287,51 +312,84 @@ impl Stage for ProfileStage {
     }
 
     fn run(&self, ctx: &mut PipelineCtx) -> Result<StageStatus, PipelineError> {
-        let cfg = &ctx.config;
-        // The sampler either writes straight into the shared store or
-        // ships encoded batches to the asynchronous collector, which
-        // drains them off the critical path.
-        let store = ProfileStore::shared();
-        let sampler_cfg = cfg.sampler;
-        let mut collector = if cfg.async_collector {
-            Some(AsyncCollector::start_with_store(Arc::clone(&store)))
-        } else {
-            None
-        };
-        let profiled_cfg = match &collector {
-            Some(c) => {
-                let sender = c.sender();
-                cfg.platform
-                    .clone()
-                    .with_observer_factory(Arc::new(move || {
+        let sampler_cfg = ctx.config.sampler;
+        let async_collector = ctx.config.async_collector;
+        let seed = ctx.config.seed ^ 0x2;
+        let policy = ctx.config.retry;
+        let chaos = Arc::clone(&ctx.chaos);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            // The sampler either writes straight into the shared store or
+            // ships encoded batches to the asynchronous collector, which
+            // drains them off the critical path. Each collection attempt
+            // gets a fresh store (a lost upload loses the whole payload).
+            let store = ProfileStore::shared();
+            let mut collector = if async_collector {
+                Some(AsyncCollector::start_with_store(Arc::clone(&store)))
+            } else {
+                None
+            };
+            let profiled_cfg = match &collector {
+                Some(c) => {
+                    let sender = c.sender();
+                    deployment_platform(ctx).with_observer_factory(Arc::new(move || {
                         Box::new(SamplerAttachment::with_transport(
                             sampler_cfg,
                             sender.clone(),
                         ))
                     }))
-            }
-            None => {
-                let store_for_factory = Arc::clone(&store);
-                cfg.platform
-                    .clone()
-                    .with_observer_factory(Arc::new(move || {
+                }
+                None => {
+                    let store_for_factory = Arc::clone(&store);
+                    deployment_platform(ctx).with_observer_factory(Arc::new(move || {
                         Box::new(SamplerAttachment::new(
                             sampler_cfg,
                             Arc::clone(&store_for_factory),
                         ))
                     }))
+                }
+            };
+            let mut platform = Platform::new(Arc::clone(&ctx.app), profiled_cfg, seed);
+            let records = platform.run(&ctx.invocations)?.to_vec();
+            if let Some(c) = collector.as_mut() {
+                // Wait until every in-flight batch is decoded into the store.
+                c.finish();
             }
-        };
-        let mut platform = Platform::new(Arc::clone(&ctx.app), profiled_cfg, cfg.seed ^ 0x2);
-        let records = platform.run(&ctx.invocations)?.to_vec();
-        if let Some(c) = collector.as_mut() {
-            // Wait until every in-flight batch is decoded into the store.
-            c.finish();
+
+            if chaos.upload_lost() {
+                if attempt < policy.max_attempts {
+                    // Chaos: the profile upload vanished in flight. The
+                    // attempt timeout is the virtual time spent detecting
+                    // the loss; back off, then re-collect (same platform
+                    // seed — the chaos stream advancing is what makes the
+                    // retry encounter different faults).
+                    ctx.resilience.profile_retries += 1;
+                    ctx.resilience.backoff += policy.attempt_timeout
+                        + policy.backoff_delay(attempt, chaos.backoff_jitter());
+                    continue;
+                }
+                // Retry budget exhausted: no profile survived. Ship empty
+                // data and degrade instead of aborting the cycle.
+                let mut s = store.lock();
+                s.samples.clear();
+                s.init_micros_by_module.clear();
+                drop(s);
+                ctx.resilience.profile_missing = true;
+            } else if let Some(keep) = chaos.upload_truncation() {
+                // Chaos: the upload survived but only a prefix arrived.
+                let mut s = store.lock();
+                let surviving = (s.samples.len() as f64 * keep).floor() as usize;
+                s.samples.truncate(surviving);
+                drop(s);
+                ctx.resilience.profile_truncated = true;
+            }
+
+            ctx.profiled_cold_starts = records.iter().filter(|r| r.cold).count() as u64;
+            ctx.profiled = Some(AppMetrics::aggregate(&records));
+            ctx.profile_store = Some(store);
+            return Ok(StageStatus::Continue);
         }
-        ctx.profiled_cold_starts = records.iter().filter(|r| r.cold).count() as u64;
-        ctx.profiled = Some(AppMetrics::aggregate(&records));
-        ctx.profile_store = Some(store);
-        Ok(StageStatus::Continue)
     }
 }
 
@@ -386,6 +444,27 @@ impl Stage for OptimizeStage {
     }
 
     fn run(&self, ctx: &mut PipelineCtx) -> Result<StageStatus, PipelineError> {
+        if ctx.resilience.profile_degraded() {
+            // The profile arrived truncated or not at all, so its findings
+            // cannot be trusted (a rarely-used package may just have lost
+            // its samples). Degrade to conservative mode: defer only
+            // packages the static analyzer proves never used, gated on the
+            // baseline (profile-free) decision instead of the detector's
+            // profile-informed gate.
+            let gate_ok = match ctx.gate {
+                Some(g) => g.passed,
+                None => true,
+            };
+            if gate_ok {
+                let outcome = optimize_conservative(&ctx.app);
+                if !outcome.edits.is_empty() {
+                    ctx.candidate = Some(Arc::new(outcome.app.clone()));
+                    ctx.redeploy = true;
+                    ctx.optimization = Some(outcome);
+                }
+            }
+            return Ok(StageStatus::Continue);
+        }
         let report = ctx
             .report
             .as_ref()
@@ -444,11 +523,36 @@ impl Stage for MeasureStage {
             .as_ref()
             .expect("MeasureStage requires BaselineStage")
             .clone();
+        if ctx.redeploy {
+            // Chaos: redeploys can fail transiently. Retry with backoff;
+            // when the budget is exhausted, roll back to the baseline
+            // artifact — the same rollback path the pre-deployment gate
+            // takes — and record the degradation.
+            let policy = ctx.config.retry;
+            let chaos = Arc::clone(&ctx.chaos);
+            let mut failures: u32 = 0;
+            while chaos.deploy_fails() {
+                failures += 1;
+                if failures >= policy.max_attempts {
+                    ctx.optimization = None;
+                    ctx.candidate = None;
+                    ctx.redeploy = false;
+                    ctx.resilience.deploy_rolled_back = true;
+                    break;
+                }
+                ctx.resilience.deploy_retries += 1;
+                ctx.resilience.backoff +=
+                    policy.attempt_timeout + policy.backoff_delay(failures, chaos.backoff_jitter());
+            }
+        }
         let optimized = if ctx.redeploy {
             let cfg = &ctx.config;
             let final_app = ctx.final_app();
-            let mut platform =
-                Platform::new(Arc::clone(&final_app), cfg.platform.clone(), cfg.seed ^ 0x3);
+            let mut platform = Platform::new(
+                Arc::clone(&final_app),
+                deployment_platform(ctx),
+                cfg.seed ^ 0x3,
+            );
             // The optimized artifact has different module identities, so
             // its invocation stream is regenerated (same seed: identical
             // arrival pattern).

@@ -26,4 +26,4 @@ pub mod orchestrator;
 pub mod report;
 
 pub use orchestrator::{FleetConfig, FleetError, FleetOrchestrator, FleetRunStats};
-pub use report::{AppRecord, FleetReport, SpeedupDistribution};
+pub use report::{AppChaosRecord, AppRecord, FleetChaosSummary, FleetReport, SpeedupDistribution};

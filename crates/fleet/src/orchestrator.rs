@@ -20,15 +20,22 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use slimstart_appmodel::catalog::{fleet_population, CatalogApp};
 use slimstart_core::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
+use slimstart_core::resilience::DegradationLevel;
+use slimstart_platform::chaos::{ChaosConfig, ChaosPlan};
 use slimstart_platform::metrics::Speedup;
 use slimstart_simcore::SimRng;
 
-use crate::report::{AppRecord, FleetReport};
+use crate::report::{AppChaosRecord, AppRecord, FleetReport};
+
+/// XOR tag deriving the fleet's chaos seed root from the experiment seed.
+/// Distinct from the pipeline's own chaos stream tag, so fleet-assigned
+/// chaos seeds never collide with seeds a standalone pipeline would derive.
+const FLEET_CHAOS_TAG: u64 = 0xFEE7_CA05;
 
 /// Fleet-run configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +55,9 @@ pub struct FleetConfig {
     /// collector transport). Its `seed` and `cold_starts` are overridden
     /// per app from the fields above.
     pub pipeline: PipelineConfig,
+    /// Fault-injection rates. [`ChaosConfig::DISABLED`] (the default)
+    /// keeps every report byte-identical to a chaos-free build.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for FleetConfig {
@@ -59,6 +69,7 @@ impl Default for FleetConfig {
             cold_starts: 500,
             runs: 1,
             pipeline: PipelineConfig::default(),
+            chaos: ChaosConfig::DISABLED,
         }
     }
 }
@@ -103,6 +114,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Sets the fault-injection rates applied to every application.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
         self
     }
 }
@@ -228,10 +246,13 @@ impl FleetOrchestrator {
         // must be a pure function of (experiment seed, index) so that the
         // worker pool's scheduling cannot perturb any app's randomness.
         let mut root = SimRng::seed_from(cfg.seed);
-        let jobs: Vec<(usize, &CatalogApp, u64)> = population
+        // Chaos seeds come from their own root stream: enabling fault
+        // injection must not shift any app's main simulation seed.
+        let mut chaos_root = SimRng::seed_from(cfg.seed ^ FLEET_CHAOS_TAG);
+        let jobs: Vec<(usize, &CatalogApp, u64, u64)> = population
             .iter()
             .enumerate()
-            .map(|(i, entry)| (i, entry, root.split_seed()))
+            .map(|(i, entry)| (i, entry, root.split_seed(), chaos_root.split_seed()))
             .collect();
 
         let threads = cfg.threads.max(1).min(jobs.len().max(1));
@@ -246,10 +267,10 @@ impl FleetOrchestrator {
                 let next = &next;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(index, entry, seed)) = jobs.get(i) else {
+                    let Some(&(index, entry, seed, chaos_seed)) = jobs.get(i) else {
                         break;
                     };
-                    let record = run_app(cfg, index, entry, seed);
+                    let record = run_app(cfg, index, entry, seed, chaos_seed);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(record);
                 });
             }
@@ -286,8 +307,14 @@ fn run_app(
     index: usize,
     entry: &CatalogApp,
     seed: u64,
+    chaos_seed: u64,
 ) -> Result<AppRecord, FleetError> {
     let runs = cfg.runs.max(1);
+    // One plan spans all of this app's runs, so its fault counters
+    // accumulate app-wide while the stream stays a pure function of
+    // (experiment seed, population index).
+    let chaos_plan =
+        (!cfg.chaos.is_disabled()).then(|| Arc::new(ChaosPlan::from_seed(cfg.chaos, chaos_seed)));
     let mut speedups = Vec::with_capacity(runs);
     let mut last: Option<PipelineOutcome> = None;
     for r in 0..runs {
@@ -296,11 +323,14 @@ fn run_app(
             code: entry.code.to_string(),
             message: e.to_string(),
         })?;
-        let pipeline_cfg = cfg
+        let mut pipeline_cfg = cfg
             .pipeline
             .clone()
             .with_seed(run_seed)
             .with_cold_starts(cfg.cold_starts);
+        if let Some(plan) = &chaos_plan {
+            pipeline_cfg = pipeline_cfg.with_chaos_plan(Arc::clone(plan));
+        }
         let outcome = Pipeline::new(pipeline_cfg)
             .run(&built.app, &entry.workload_weights())
             .map_err(|e| FleetError::Pipeline {
@@ -312,7 +342,15 @@ fn run_app(
     }
     let out = last.expect("runs >= 1");
     let rolled_back =
-        out.pre_deploy.has_errors() && out.report.gate_passed && !out.report.findings.is_empty();
+        (out.pre_deploy.has_errors() && out.report.gate_passed && !out.report.findings.is_empty())
+            || out.resilience.degradation == DegradationLevel::RolledBack;
+    let chaos = chaos_plan.map(|plan| AppChaosRecord {
+        faults: plan.total_injected(),
+        profile_retries: out.resilience.profile_retries,
+        deploy_retries: out.resilience.deploy_retries,
+        degradation: out.resilience.degradation.label(),
+        recovered: out.resilience.recovered,
+    });
     Ok(AppRecord {
         index,
         code: entry.code.to_string(),
@@ -332,6 +370,7 @@ fn run_app(
         baseline_init_ms: out.baseline.mean_init_ms,
         baseline_e2e_ms: out.baseline.mean_e2e_ms,
         optimized_e2e_ms: out.optimized.mean_e2e_ms,
+        chaos,
     })
 }
 
@@ -383,6 +422,37 @@ mod tests {
         // derived seeds), while staying in a plausible band.
         assert!(r2.apps[0].speedup.init > 1.0);
         assert!(r1.apps[0].seed == r2.apps[0].seed, "base seed is stable");
+    }
+
+    #[test]
+    fn chaos_fleet_is_deterministic_across_thread_counts() {
+        let chaotic = |threads: usize| {
+            FleetOrchestrator::new(
+                quick_fleet(4, threads)
+                    .config()
+                    .clone()
+                    .with_chaos(ChaosConfig::uniform(0.3)),
+            )
+        };
+        let (seq, _) = chaotic(1).run().unwrap();
+        let (par, _) = chaotic(4).run().unwrap();
+        assert_eq!(seq.to_json(), par.to_json());
+        assert!(seq.chaos.is_some(), "chaos summary present when enabled");
+        assert!(seq.to_json().contains("\"chaos\""));
+    }
+
+    #[test]
+    fn disabled_chaos_leaves_the_report_untouched() {
+        let (plain, _) = quick_fleet(3, 2).run().unwrap();
+        let zeroed = FleetOrchestrator::new(
+            quick_fleet(3, 2)
+                .config()
+                .clone()
+                .with_chaos(ChaosConfig::uniform(0.0)),
+        );
+        let (zero, _) = zeroed.run().unwrap();
+        assert_eq!(plain.to_json(), zero.to_json());
+        assert!(!plain.to_json().contains("chaos"));
     }
 
     #[test]

@@ -75,12 +75,54 @@ pub struct AppRecord {
     pub baseline_e2e_ms: f64,
     /// Final-deployment end-to-end latency, ms (last run).
     pub optimized_e2e_ms: f64,
+    /// Fault-injection summary; `None` when the fleet ran without chaos,
+    /// which keeps the serialized row byte-identical to chaos-free builds.
+    pub chaos: Option<AppChaosRecord>,
+}
+
+/// One application's fault-injection summary (chaos-enabled fleets only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppChaosRecord {
+    /// Faults the app's chaos plan injected across all its runs.
+    pub faults: u64,
+    /// Profile-collection retries in the recorded (last) run.
+    pub profile_retries: u32,
+    /// Redeploy retries in the recorded (last) run.
+    pub deploy_retries: u32,
+    /// Degradation-ladder label of the recorded run (`none`,
+    /// `conservative`, or `rolled-back`).
+    pub degradation: &'static str,
+    /// Faults were injected yet the full optimization still shipped.
+    pub recovered: bool,
+}
+
+impl AppChaosRecord {
+    /// Whether the app landed below the top of the degradation ladder.
+    pub fn degraded(&self) -> bool {
+        self.degradation != "none"
+    }
+
+    /// Whether the redeploy was abandoned (baseline kept).
+    pub fn failed(&self) -> bool {
+        self.degradation == "rolled-back"
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"faults\":{},\"profile_retries\":{},\"deploy_retries\":{},\"degradation\":\"{}\",\"recovered\":{}}}",
+            self.faults,
+            self.profile_retries,
+            self.deploy_retries,
+            self.degradation,
+            self.recovered,
+        )
+    }
 }
 
 impl AppRecord {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"index\":{},\"code\":\"{}\",\"name\":\"{}\",\"seed\":{},\"gate_passed\":{},\"optimized\":{},\"rolled_back\":{},\"findings\":{},\"deferred\":{},\"analyzer_errors\":{},\"analyzer_warnings\":{},\"speedup\":{{\"init\":{},\"load\":{},\"e2e\":{},\"p99_e2e\":{},\"mem\":{}}},\"baseline_init_ms\":{},\"baseline_e2e_ms\":{},\"optimized_e2e_ms\":{}}}",
+        let mut out = format!(
+            "{{\"index\":{},\"code\":\"{}\",\"name\":\"{}\",\"seed\":{},\"gate_passed\":{},\"optimized\":{},\"rolled_back\":{},\"findings\":{},\"deferred\":{},\"analyzer_errors\":{},\"analyzer_warnings\":{},\"speedup\":{{\"init\":{},\"load\":{},\"e2e\":{},\"p99_e2e\":{},\"mem\":{}}},\"baseline_init_ms\":{},\"baseline_e2e_ms\":{},\"optimized_e2e_ms\":{}",
             self.index,
             escape(&self.code),
             escape(&self.name),
@@ -100,7 +142,12 @@ impl AppRecord {
             num(self.baseline_init_ms),
             num(self.baseline_e2e_ms),
             num(self.optimized_e2e_ms),
-        )
+        );
+        if let Some(chaos) = &self.chaos {
+            let _ = write!(out, ",\"chaos\":{}", chaos.to_json());
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -189,6 +236,49 @@ pub struct FleetReport {
     pub deferred_total: usize,
     /// Total pre-deployment analyzer warnings across the fleet.
     pub analyzer_warnings_total: usize,
+    /// Fault-injection summary; `None` for chaos-free fleets, which keeps
+    /// the serialized report byte-identical to chaos-free builds.
+    pub chaos: Option<FleetChaosSummary>,
+}
+
+/// Fleet-wide fault-injection summary (chaos-enabled fleets only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetChaosSummary {
+    /// Applications with at least one injected fault.
+    pub faulted: usize,
+    /// Faulted applications that still shipped the full optimization.
+    pub recovered: usize,
+    /// Applications that fell down the degradation ladder (conservative
+    /// mode or rollback).
+    pub degraded: usize,
+    /// Applications whose redeploy was abandoned (baseline kept).
+    pub failed: usize,
+    /// Total faults injected across the fleet.
+    pub faults_total: u64,
+}
+
+impl FleetChaosSummary {
+    /// Aggregates the per-app chaos rows; `None` when no row carries one.
+    pub fn from_records(apps: &[AppRecord]) -> Option<Self> {
+        if apps.iter().all(|a| a.chaos.is_none()) {
+            return None;
+        }
+        let rows = || apps.iter().filter_map(|a| a.chaos.as_ref());
+        Some(FleetChaosSummary {
+            faulted: rows().filter(|c| c.faults > 0).count(),
+            recovered: rows().filter(|c| c.recovered).count(),
+            degraded: rows().filter(|c| c.degraded()).count(),
+            failed: rows().filter(|c| c.failed()).count(),
+            faults_total: rows().map(|c| c.faults).sum(),
+        })
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"faulted\":{},\"recovered\":{},\"degraded\":{},\"failed\":{},\"faults_total\":{}}}",
+            self.faulted, self.recovered, self.degraded, self.failed, self.faults_total,
+        )
+    }
 }
 
 impl FleetReport {
@@ -207,6 +297,7 @@ impl FleetReport {
             findings_total: apps.iter().map(|a| a.findings).sum(),
             deferred_total: apps.iter().map(|a| a.deferred).sum(),
             analyzer_warnings_total: apps.iter().map(|a| a.analyzer_warnings).sum(),
+            chaos: FleetChaosSummary::from_records(&apps),
             init_speedup,
             e2e_speedup,
             mem_reduction,
@@ -233,6 +324,9 @@ impl FleetReport {
             "\"analyzer_warnings_total\":{},",
             self.analyzer_warnings_total
         );
+        if let Some(chaos) = &self.chaos {
+            let _ = write!(out, "\"chaos\":{},", chaos.to_json());
+        }
         let _ = write!(out, "\"init_speedup\":{},", self.init_speedup.to_json());
         let _ = write!(out, "\"e2e_speedup\":{},", self.e2e_speedup.to_json());
         let _ = write!(out, "\"mem_reduction\":{},", self.mem_reduction.to_json());
@@ -263,6 +357,14 @@ impl FleetReport {
             if a.rolled_back {
                 notes.push("rolled back".to_string());
             }
+            if let Some(chaos) = &a.chaos {
+                if chaos.degradation == "conservative" {
+                    notes.push("conservative".to_string());
+                }
+                if chaos.recovered {
+                    notes.push(format!("recovered from {} faults", chaos.faults));
+                }
+            }
             let _ = writeln!(
                 out,
                 "{:<5} {:<9} {:<26} {:>5} {:>9.2} {:>9.2} {:>9.2}  {}",
@@ -286,6 +388,13 @@ impl FleetReport {
             self.rolled_back_count,
             self.findings_total,
         );
+        if let Some(chaos) = &self.chaos {
+            let _ = writeln!(
+                out,
+                "chaos: {} faults injected | {} apps faulted | {} recovered | {} degraded | {} failed",
+                chaos.faults_total, chaos.faulted, chaos.recovered, chaos.degraded, chaos.failed,
+            );
+        }
         let _ = writeln!(
             out,
             "init speedup : mean {:.2}x  median {:.2}x  p90 {:.2}x  p99 {:.2}x",
@@ -343,6 +452,7 @@ mod tests {
             baseline_init_ms: 400.0,
             baseline_e2e_ms: 500.0,
             optimized_e2e_ms: 500.0 / e2e,
+            chaos: None,
         }
     }
 
@@ -380,5 +490,45 @@ mod tests {
         let report = FleetReport::from_records(7, 100, 1, Vec::new());
         assert!(report.to_json().contains("\"apps\":[]"));
         assert_eq!(report.init_speedup.mean, 0.0);
+    }
+
+    #[test]
+    fn chaos_free_report_omits_every_chaos_key() {
+        let report = FleetReport::from_records(7, 100, 1, vec![record(0, 2.0, 1.5)]);
+        assert!(report.chaos.is_none());
+        assert!(!report.to_json().contains("chaos"));
+        assert!(!report.render_text().contains("chaos"));
+    }
+
+    #[test]
+    fn chaos_rows_serialize_and_aggregate() {
+        let mut a = record(0, 2.0, 1.5);
+        a.chaos = Some(AppChaosRecord {
+            faults: 4,
+            profile_retries: 1,
+            deploy_retries: 0,
+            degradation: "none",
+            recovered: true,
+        });
+        let mut b = record(1, 1.0, 1.0);
+        b.chaos = Some(AppChaosRecord {
+            faults: 9,
+            profile_retries: 2,
+            deploy_retries: 2,
+            degradation: "rolled-back",
+            recovered: false,
+        });
+        let report = FleetReport::from_records(7, 100, 1, vec![a, b]);
+        let summary = report.chaos.unwrap();
+        assert_eq!(summary.faulted, 2);
+        assert_eq!(summary.recovered, 1);
+        assert_eq!(summary.degraded, 1);
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.faults_total, 13);
+        let json = report.to_json();
+        assert!(json.contains("\"chaos\":{\"faulted\":2"));
+        assert!(json.contains("\"degradation\":\"rolled-back\""));
+        assert!(report.render_text().contains("chaos: 13 faults injected"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -30,11 +30,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod chaos;
 pub mod container;
 pub mod invocation;
 pub mod metrics;
 pub mod platform;
 
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosStats, FaultKind};
 pub use invocation::{Invocation, InvocationRecord};
 pub use metrics::AppMetrics;
 pub use platform::{ObserverFactory, Platform, PlatformConfig};
@@ -54,6 +56,8 @@ mod thread_safety {
     #[test]
     fn fleet_shared_types_are_send_and_sync() {
         assert_send_sync::<PlatformConfig>();
+        assert_send_sync::<ChaosConfig>();
+        assert_send_sync::<ChaosPlan>();
         assert_send_sync::<AppMetrics>();
         assert_send_sync::<Speedup>();
         assert_send_sync::<Invocation>();

@@ -9,11 +9,18 @@ use slimstart_pyrt::RuntimeFault;
 use slimstart_simcore::rng::SimRng;
 use slimstart_simcore::time::{SimDuration, SimTime};
 
+use crate::chaos::ChaosPlan;
 use crate::container::Container;
 use crate::invocation::{Invocation, InvocationRecord};
 
 /// Builds a fresh observer (profiler attachment) for each new container.
 pub type ObserverFactory = Arc<dyn Fn() -> Box<dyn ExecutionObserver> + Send + Sync>;
+
+/// Cap on chaos-injected init crashes charged to one cold start; the
+/// platform's retry-with-fresh-sandbox loop gives up (and lets the original
+/// attempt through) after this many consecutive crashes so a high fault
+/// rate degrades latency instead of livelocking.
+const MAX_INIT_CRASHES: u64 = 3;
 
 /// Platform configuration, with AWS-Lambda-like defaults.
 #[derive(Clone)]
@@ -32,6 +39,9 @@ pub struct PlatformConfig {
     pub max_containers: usize,
     /// Profiler attachment installed into every new container, if any.
     pub observer_factory: Option<ObserverFactory>,
+    /// Fault-injection schedule; `None` behaves exactly like
+    /// [`ChaosPlan::none`] (no draws, no overhead).
+    pub chaos: Option<Arc<ChaosPlan>>,
 }
 
 impl std::fmt::Debug for PlatformConfig {
@@ -44,6 +54,10 @@ impl std::fmt::Debug for PlatformConfig {
             .field("jitter_sigma", &self.jitter_sigma)
             .field("max_containers", &self.max_containers)
             .field("observed", &self.observer_factory.is_some())
+            .field(
+                "chaos",
+                &self.chaos.as_ref().is_some_and(|c| c.is_enabled()),
+            )
             .finish()
     }
 }
@@ -58,6 +72,7 @@ impl Default for PlatformConfig {
             jitter_sigma: 0.04,
             max_containers: 1_000,
             observer_factory: None,
+            chaos: None,
         }
     }
 }
@@ -72,6 +87,12 @@ impl PlatformConfig {
     /// Returns a copy without speed jitter (for exact-arithmetic tests).
     pub fn without_jitter(mut self) -> Self {
         self.jitter_sigma = 0.0;
+        self
+    }
+
+    /// Returns a copy injecting faults per the shared chaos plan.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosPlan>) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -149,7 +170,14 @@ impl Platform {
             let mut container =
                 Container::new(id, Arc::clone(&self.app), time_scale, SimTime::ZERO);
             if let Some(factory) = &self.config.observer_factory {
-                container.process_mut().attach_observer(factory());
+                let dropped = self
+                    .config
+                    .chaos
+                    .as_ref()
+                    .is_some_and(|c| c.sampler_dropout());
+                if !dropped {
+                    container.process_mut().attach_observer(factory());
+                }
             }
             let provision = self.config.provision_cost.mul_f64(time_scale);
             let runtime_startup = self.config.runtime_startup_cost.mul_f64(time_scale);
@@ -190,6 +218,14 @@ impl Platform {
         // Reclaim expired containers first (keep-alive policy).
         let keep_alive = self.config.keep_alive;
         self.containers.retain(|c| !c.expired_at(now, keep_alive));
+
+        // Chaos: a reclamation storm seizes every idle container at once,
+        // as if the platform clawed back keep-alive capacity under pressure.
+        if let Some(chaos) = &self.config.chaos {
+            if chaos.reclamation_storm() {
+                self.containers.retain(|c| !c.idle_at(now));
+            }
+        }
 
         // Prefer the warm container that has been idle the longest.
         let warm = self
@@ -247,12 +283,35 @@ impl Platform {
         inv: Invocation,
         wait: SimDuration,
     ) -> Result<InvocationRecord, RuntimeFault> {
+        // Chaos: the sandbox may crash mid-init; the platform retries with a
+        // fresh one and the request eats the wasted provision + runtime
+        // startup as extra wait. Crashed attempts are charged at scale 1.0 —
+        // deliberately not drawing `sample_time_scale` — so the platform's
+        // jitter stream is never perturbed by chaos being enabled.
+        let mut wait = wait;
+        if let Some(chaos) = &self.config.chaos {
+            let mut crashes: u64 = 0;
+            while crashes < MAX_INIT_CRASHES && chaos.crash_during_init() {
+                crashes += 1;
+            }
+            wait += (self.config.provision_cost + self.config.runtime_startup_cost) * crashes;
+        }
+
         let time_scale = self.sample_time_scale();
         let id = self.next_container_id;
         self.next_container_id += 1;
         let mut container = Container::new(id, Arc::clone(&self.app), time_scale, inv.at);
         if let Some(factory) = &self.config.observer_factory {
-            container.process_mut().attach_observer(factory());
+            // Chaos: a sampler dropout window — the profiler attachment
+            // fails for this container's whole lifetime (zero samples).
+            let dropped = self
+                .config
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.sampler_dropout());
+            if !dropped {
+                container.process_mut().attach_observer(factory());
+            }
         }
 
         let provision = self.config.provision_cost.mul_f64(time_scale);
@@ -527,5 +586,121 @@ mod tests {
         p.run(&[inv(0, 1)]).unwrap();
         p.run(&[inv(1_000, 2)]).unwrap();
         assert_eq!(p.records().len(), 2);
+    }
+
+    mod chaos_injection {
+        use super::*;
+        use crate::chaos::{ChaosConfig, ChaosPlan};
+
+        fn chaotic(config: ChaosConfig) -> PlatformConfig {
+            cfg().with_chaos(Arc::new(ChaosPlan::from_seed(config, 11)))
+        }
+
+        #[test]
+        fn none_plan_is_byte_identical_to_no_plan() {
+            let plain = {
+                let mut p = Platform::new(app(), cfg(), 5);
+                p.run(&[inv(0, 1), inv(500, 2), inv(1_000, 3)])
+                    .unwrap()
+                    .to_vec()
+            };
+            let passthrough = {
+                let c = cfg().with_chaos(Arc::new(ChaosPlan::none()));
+                let mut p = Platform::new(app(), c, 5);
+                p.run(&[inv(0, 1), inv(500, 2), inv(1_000, 3)])
+                    .unwrap()
+                    .to_vec()
+            };
+            assert_eq!(plain, passthrough);
+        }
+
+        #[test]
+        fn certain_init_crashes_charge_capped_wait() {
+            let config = ChaosConfig {
+                crash_during_init: 1.0,
+                ..ChaosConfig::DISABLED
+            };
+            let mut p = Platform::new(app(), chaotic(config), 5);
+            let recs = p.run(&[inv(0, 1)]).unwrap();
+            // Rate 1.0 hits the retry cap: 3 crashed sandboxes at
+            // (45 + 35) ms each before one survives.
+            assert!(recs[0].cold);
+            assert_eq!(recs[0].wait_time, ms(3 * 80));
+            assert_eq!(recs[0].e2e_latency, ms(3 * 80 + 190));
+        }
+
+        #[test]
+        fn reclamation_storm_forces_recurrent_cold_starts() {
+            let config = ChaosConfig {
+                reclamation_storm: 1.0,
+                ..ChaosConfig::DISABLED
+            };
+            let mut p = Platform::new(app(), chaotic(config), 5);
+            // 1 s apart: without the storm the second request is warm
+            // (see back_to_back_requests_hit_warm_container).
+            let recs = p.run(&[inv(0, 1), inv(1_000, 2)]).unwrap();
+            assert!(recs[0].cold);
+            assert!(recs[1].cold);
+        }
+
+        #[test]
+        fn sampler_dropout_skips_observer_attachment() {
+            use slimstart_pyrt::observer::NullObserver;
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            static ATTACHED: AtomicUsize = AtomicUsize::new(0);
+            let factory: ObserverFactory = Arc::new(|| {
+                ATTACHED.fetch_add(1, Ordering::SeqCst);
+                Box::new(NullObserver)
+            });
+            let config = ChaosConfig {
+                sampler_dropout: 1.0,
+                ..ChaosConfig::DISABLED
+            };
+            let platform_cfg = chaotic(config).with_observer_factory(factory);
+            let mut p = Platform::new(app(), platform_cfg, 5);
+            p.run(&[inv(0, 1)]).unwrap();
+            assert_eq!(
+                ATTACHED.load(Ordering::SeqCst),
+                0,
+                "dropout must skip attachment"
+            );
+        }
+
+        #[test]
+        fn chaos_does_not_perturb_the_jitter_stream() {
+            // Same platform seed, jitter on: the jittered init latencies
+            // must be identical with and without chaos (crash penalties
+            // land in wait_time, storms only affect warm/cold routing —
+            // here every request is cold already).
+            let gap = 11 * 60 * 1000;
+            let invs = [inv(0, 1), inv(gap, 2), inv(2 * gap, 3)];
+            let jittered = PlatformConfig {
+                jitter_sigma: 0.1,
+                ..PlatformConfig::default()
+            };
+            let plain: Vec<u64> = {
+                let mut p = Platform::new(app(), jittered.clone(), 7);
+                p.run(&invs)
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.init_latency.as_micros())
+                    .collect()
+            };
+            let chaotic: Vec<u64> = {
+                let config = ChaosConfig {
+                    crash_during_init: 0.7,
+                    reclamation_storm: 0.7,
+                    ..ChaosConfig::DISABLED
+                };
+                let c = jittered.with_chaos(Arc::new(ChaosPlan::from_seed(config, 11)));
+                let mut p = Platform::new(app(), c, 7);
+                p.run(&invs)
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.init_latency.as_micros())
+                    .collect()
+            };
+            assert_eq!(plain, chaotic);
+        }
     }
 }

@@ -19,12 +19,19 @@
 //!     --runs <R>                            averaged runs per app (default 1)
 //!     --seed <S> / --cold-starts <N>        experiment parameters
 //!     --json                                machine-readable output
+//! slimstart chaos [options]                 fleet run under fault injection
+//!     --fault-rate <P>                      per-event fault probability
+//!                                           (default: $SLIMSTART_FAULT_RATE
+//!                                           or 0.1)
+//!     --apps/--threads/--runs/--seed/--cold-starts/--json as for `fleet`
 //! slimstart help                            this text
 //! ```
 //!
 //! `fleet` output is byte-identical for any `--threads` value at the same
 //! seed — the worker pool decides when an application runs, never with
-//! which randomness.
+//! which randomness. The same holds for `chaos`: injected faults draw from
+//! dedicated per-app streams split up front, so `slimstart chaos --seed N
+//! --json` reproduces byte-for-byte across runs and thread counts.
 //!
 //! `lint` exits 1 when any error-severity diagnostic is reported and 0
 //! otherwise (warnings and infos alone do not fail the build).
@@ -38,6 +45,7 @@ use slimstart::core::export::outcome_to_json;
 use slimstart::core::pipeline::{Pipeline, PipelineConfig};
 use slimstart::core::report::render;
 use slimstart::fleet::{FleetConfig, FleetOrchestrator};
+use slimstart::platform::chaos::ChaosConfig;
 use slimstart::workload::trace::{ProductionTrace, TraceConfig};
 
 fn main() -> ExitCode {
@@ -61,6 +69,7 @@ fn main() -> ExitCode {
         "graph" => cmd_graph(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "fleet" => cmd_fleet(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -88,6 +97,7 @@ USAGE:
     slimstart graph <CODE> [--optimized] [--seed S]
     slimstart trace [--seed S]
     slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
+    slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
     slimstart help
 
 Run `cargo bench -p slimstart-bench` to regenerate every paper table/figure."
@@ -103,6 +113,18 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, String> {
             .parse()
             .map(Some)
             .map_err(|_| format!("{flag} needs an integer value")),
+    }
+}
+
+fn flag_value_f64(args: &[String], flag: &str) -> Result<Option<f64>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs a numeric value")),
     }
 }
 
@@ -272,7 +294,8 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fleet(args: &[String]) -> Result<(), String> {
+/// Parses the flags `fleet` and `chaos` share into a [`FleetConfig`].
+fn parse_fleet_config(args: &[String]) -> Result<FleetConfig, String> {
     let apps = flag_value(args, "--apps")?.unwrap_or(22) as usize;
     let threads = match flag_value(args, "--threads")? {
         Some(t) => t as usize,
@@ -283,17 +306,18 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let seed = flag_value(args, "--seed")?.unwrap_or(2025);
     let cold_starts = flag_value(args, "--cold-starts")?.unwrap_or(500) as usize;
     let runs = flag_value(args, "--runs")?.unwrap_or(1) as usize;
-    let json = args.iter().any(|a| a == "--json");
     if apps == 0 {
         return Err("--apps must be at least 1".to_string());
     }
-
-    let config = FleetConfig::default()
+    Ok(FleetConfig::default()
         .with_apps(apps)
         .with_threads(threads.max(1))
         .with_seed(seed)
         .with_cold_starts(cold_starts)
-        .with_runs(runs.max(1));
+        .with_runs(runs.max(1)))
+}
+
+fn run_fleet(config: FleetConfig, json: bool) -> Result<(), String> {
     let (report, stats) = FleetOrchestrator::new(config)
         .run()
         .map_err(|e| e.to_string())?;
@@ -308,6 +332,29 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         println!("{stats}");
     }
     Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    run_fleet(parse_fleet_config(args)?, json)
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    let rate = match flag_value_f64(args, "--fault-rate")? {
+        Some(r) => r,
+        None => match std::env::var("SLIMSTART_FAULT_RATE") {
+            Ok(v) => v
+                .parse()
+                .map_err(|_| "SLIMSTART_FAULT_RATE must be numeric".to_string())?,
+            Err(_) => 0.1,
+        },
+    };
+    if !(0.0..=1.0).contains(&rate) {
+        return Err("--fault-rate must be within [0, 1]".to_string());
+    }
+    let config = parse_fleet_config(args)?.with_chaos(ChaosConfig::uniform(rate));
+    run_fleet(config, json)
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,156 @@
+//! Chaos conformance sweep: a seed × fault-mix grid driving the full
+//! pipeline under fault injection and asserting the resilience invariants
+//! that make the subsystem trustworthy:
+//!
+//! 1. **No panics, always an outcome.** Every (seed, mix) cell terminates
+//!    with a `PipelineOutcome` — faults degrade runs, they never abort them.
+//! 2. **Optimizations stay safe under chaos.** No cell ever surfaces a
+//!    `RuntimeFault::StrippedModuleCall`: degraded (conservative) and
+//!    rolled-back paths must never deploy an unsound rewrite.
+//! 3. **Degradation is consistent.** A rolled-back run carries no
+//!    optimization; a conservative run reports a degraded profile.
+//! 4. **Determinism.** Identical (seed, mix) cells reproduce byte-identical
+//!    report JSON, which is what makes the whole sweep assertable.
+
+use slimstart::appmodel::catalog::{fleet_population, CatalogApp};
+use slimstart::core::export::outcome_to_json;
+use slimstart::core::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
+use slimstart::core::resilience::DegradationLevel;
+use slimstart::platform::chaos::ChaosConfig;
+use slimstart::platform::PlatformConfig;
+
+/// The fault-mix grid: uniform low/medium/high pressure plus three
+/// targeted storms that each lean on one resilience path.
+fn mixes() -> Vec<(&'static str, ChaosConfig)> {
+    let deploy_storm = ChaosConfig {
+        deploy_failure: 0.9,
+        ..ChaosConfig::DISABLED
+    };
+    let upload_storm = ChaosConfig {
+        upload_loss: 0.9,
+        upload_truncation: 0.5,
+        ..ChaosConfig::DISABLED
+    };
+    let platform_storm = ChaosConfig {
+        crash_during_init: 0.5,
+        reclamation_storm: 0.4,
+        sampler_dropout: 0.5,
+        ..ChaosConfig::DISABLED
+    };
+    vec![
+        ("uniform-0.05", ChaosConfig::uniform(0.05)),
+        ("uniform-0.25", ChaosConfig::uniform(0.25)),
+        ("uniform-0.60", ChaosConfig::uniform(0.60)),
+        ("deploy-storm", deploy_storm),
+        ("upload-storm", upload_storm),
+        ("platform-storm", platform_storm),
+    ]
+}
+
+/// The sweep population: the first five catalog apps. The later
+/// FaaSLight-suite entries are orders of magnitude larger (FL-PWM alone
+/// simulates for ~a minute per debug-build run) and add no new resilience
+/// paths — size is orthogonal to fault handling.
+fn population() -> Vec<CatalogApp> {
+    fleet_population(5)
+}
+
+fn run_cell(entry: &CatalogApp, seed: u64, mix: ChaosConfig) -> PipelineOutcome {
+    let built = entry.build(seed).expect("catalog blueprint builds");
+    let config = PipelineConfig::default()
+        .with_cold_starts(6)
+        .with_platform(PlatformConfig::default().without_jitter())
+        .with_seed(seed)
+        .with_chaos(mix);
+    match Pipeline::new(config).run(&built.app, &entry.workload_weights()) {
+        Ok(outcome) => outcome,
+        Err(PipelineError::Fault(fault)) => panic!(
+            "{} seed {seed}: chaos surfaced a runtime fault (an unsound \
+             optimization was deployed): {fault}",
+            entry.code
+        ),
+        Err(other) => panic!("{} seed {seed}: pipeline failed: {other}", entry.code),
+    }
+}
+
+#[test]
+fn sweep_terminates_safely_and_degrades_consistently() {
+    let population = population();
+    let mixes = mixes();
+    let mut cells = 0usize;
+    let mut degraded = 0usize;
+    for (m, (name, mix)) in mixes.iter().enumerate() {
+        for s in 0..12u64 {
+            let seed = 1000 + s * 37 + m as u64;
+            let entry = &population[(cells) % population.len()];
+            let outcome = run_cell(entry, seed, *mix);
+            cells += 1;
+
+            let res = &outcome.resilience;
+            assert!(res.chaos_enabled, "{name}: chaos must be on in the sweep");
+            match res.degradation {
+                DegradationLevel::RolledBack => {
+                    degraded += 1;
+                    assert!(
+                        outcome.optimization.is_none(),
+                        "{name} seed {seed}: rolled-back run still carries an optimization"
+                    );
+                    assert!(res.deploy_retries > 0 || res.faults_injected > 0);
+                }
+                DegradationLevel::Conservative => {
+                    degraded += 1;
+                    assert!(
+                        res.faults_injected > 0,
+                        "{name} seed {seed}: conservative mode without any injected fault"
+                    );
+                }
+                DegradationLevel::None => {}
+            }
+            if res.recovered {
+                assert!(res.faults_injected > 0);
+                assert_eq!(res.degradation, DegradationLevel::None);
+            }
+        }
+    }
+    assert!(
+        cells >= 64,
+        "grid must cover at least 64 cells, got {cells}"
+    );
+    assert!(
+        degraded > 0,
+        "a sweep at these rates must exercise the degradation paths"
+    );
+}
+
+#[test]
+fn identical_cells_reproduce_byte_identical_reports() {
+    let population = population();
+    // Sample one seed per mix — full JSON equality, not just field spot
+    // checks, so any nondeterminism anywhere in the outcome surfaces.
+    for (m, (name, mix)) in mixes().iter().enumerate() {
+        let seed = 4242 + m as u64 * 101;
+        let entry = &population[m % population.len()];
+        let first = outcome_to_json(&run_cell(entry, seed, *mix));
+        let second = outcome_to_json(&run_cell(entry, seed, *mix));
+        assert_eq!(first, second, "{name}: same (seed, mix) must replay");
+        assert!(
+            first.contains("\"resilience\""),
+            "{name}: chaos-enabled outcomes must carry the resilience object"
+        );
+    }
+}
+
+#[test]
+fn nearby_seeds_produce_distinct_fault_schedules() {
+    // The chaos stream is seeded per experiment; neighboring seeds must not
+    // share a schedule (a classic low-entropy seeding bug).
+    let population = population();
+    let entry = &population[0];
+    let mix = ChaosConfig::uniform(0.25);
+    let a = outcome_to_json(&run_cell(entry, 9000, mix));
+    let b = outcome_to_json(&run_cell(entry, 9001, mix));
+    assert_ne!(
+        a, b,
+        "adjacent seeds should diverge somewhere in the report"
+    );
+}

@@ -5,6 +5,7 @@
 //! *with which randomness*).
 
 use slimstart::fleet::{FleetConfig, FleetOrchestrator, FleetReport};
+use slimstart::platform::chaos::ChaosConfig;
 use slimstart::platform::PlatformConfig;
 use slimstart_core::pipeline::PipelineConfig;
 
@@ -22,6 +23,24 @@ fn run(threads: usize) -> FleetReport {
     report
 }
 
+fn run_chaotic(threads: usize) -> FleetReport {
+    // The `slimstart chaos --fault-rate 0.2` configuration from the CLI
+    // contract, shrunk to a test-sized fleet. Five apps keeps the chaotic
+    // fleet on the small catalog entries (profile-upload retries re-run
+    // the profiling deployment, which is expensive on the FaaSLight apps).
+    let config = FleetConfig::default()
+        .with_apps(5)
+        .with_threads(threads)
+        .with_seed(2025)
+        .with_cold_starts(10)
+        .with_chaos(ChaosConfig::uniform(0.2))
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        );
+    let (report, _) = FleetOrchestrator::new(config).run().expect("fleet runs");
+    report
+}
+
 #[test]
 fn one_thread_and_eight_threads_emit_byte_identical_json() {
     let sequential = run(1);
@@ -31,6 +50,29 @@ fn one_thread_and_eight_threads_emit_byte_identical_json() {
         parallel.to_json(),
         "FleetReport JSON must not depend on worker count"
     );
+}
+
+#[test]
+fn chaotic_fleet_json_is_byte_identical_across_worker_counts() {
+    // Fault injection draws from dedicated per-app chaos streams that are
+    // split up front, exactly like the main seeds — so a 20 % fault rate
+    // must not reintroduce any thread-count dependence.
+    let sequential = run_chaotic(1);
+    let parallel = run_chaotic(8);
+    let json = sequential.to_json();
+    assert_eq!(
+        json,
+        parallel.to_json(),
+        "chaotic FleetReport JSON must not depend on worker count"
+    );
+    assert!(json.contains("\"chaos\""), "chaos summary must be present");
+}
+
+#[test]
+fn chaos_free_reports_never_mention_chaos() {
+    // The passthrough contract: with chaos disabled the serialized report
+    // carries no trace of the fault-injection subsystem.
+    assert!(!run(2).to_json().contains("chaos"));
 }
 
 #[test]

@@ -1,0 +1,139 @@
+//! Golden-file conformance for every serialized report surface.
+//!
+//! With chaos disabled, nothing in this PR-stream may perturb a single
+//! byte of the paper-facing artifacts: the fleet text table (Table 2
+//! style), the FaaSLight comparison outcome (Table 3 style), the fleet
+//! JSON, and the per-app pipeline JSON. Each test renders the artifact at
+//! a pinned (seed, cold-starts) configuration and diffs it against a
+//! committed golden under `tests/golden/`.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! SLIMSTART_BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! and review the resulting diff like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use slimstart::appmodel::catalog::by_code;
+use slimstart::core::export::outcome_to_json;
+use slimstart::core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use slimstart::core::stage::StageEngine;
+use slimstart::fleet::{FleetConfig, FleetOrchestrator};
+use slimstart::platform::chaos::ChaosConfig;
+use slimstart::platform::PlatformConfig;
+use slimstart::stages::StripStage;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diffs `actual` against the committed golden, or rewrites the golden
+/// when `SLIMSTART_BLESS=1` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("SLIMSTART_BLESS").as_deref() == Ok("1") {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden `{name}` — regenerate with \
+             SLIMSTART_BLESS=1 cargo test --test golden_reports"
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "`{name}` drifted from its golden; if the change is intentional, \
+         re-bless with SLIMSTART_BLESS=1 and review the diff"
+    );
+}
+
+fn pinned_pipeline_config(seed: u64) -> PipelineConfig {
+    PipelineConfig::default()
+        .with_cold_starts(25)
+        .with_platform(PlatformConfig::default().without_jitter())
+        .with_seed(seed)
+}
+
+fn run_rgb(config: PipelineConfig) -> PipelineOutcome {
+    let entry = by_code("R-GB").expect("catalog entry");
+    let built = entry.build(2025).expect("builds");
+    Pipeline::new(config)
+        .run(&built.app, &entry.workload_weights())
+        .expect("pipeline runs")
+}
+
+#[test]
+fn fleet_text_table_matches_golden() {
+    // Table 2 style: the per-app fleet summary table.
+    let config = FleetConfig::default()
+        .with_apps(3)
+        .with_threads(2)
+        .with_seed(2025)
+        .with_cold_starts(25)
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        );
+    let (report, _) = FleetOrchestrator::new(config).run().expect("fleet runs");
+    check_golden("table2_fleet.txt", &report.render_text());
+}
+
+#[test]
+fn fleet_json_matches_golden() {
+    let config = FleetConfig::default()
+        .with_apps(4)
+        .with_threads(2)
+        .with_seed(2025)
+        .with_cold_starts(10)
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        );
+    let (report, _) = FleetOrchestrator::new(config).run().expect("fleet runs");
+    check_golden("fleet_report.json", &report.to_json());
+}
+
+#[test]
+fn pipeline_outcome_json_matches_golden() {
+    let outcome = run_rgb(pinned_pipeline_config(2025));
+    check_golden("pipeline_rgb.json", &outcome_to_json(&outcome));
+}
+
+#[test]
+fn faaslight_comparison_outcome_matches_golden() {
+    // Table 3 style: the same pipeline with FaaSLight's static strip pass
+    // swapped in as the optimize stage.
+    let entry = by_code("R-GB").expect("catalog entry");
+    let built = entry.build(2025).expect("builds");
+    let config = pinned_pipeline_config(2025);
+    let engine = StageEngine::canonical(&config).replace("optimize", StripStage);
+    let outcome = Pipeline::new(config)
+        .run_with_engine(&engine, &built.app, &entry.workload_weights())
+        .expect("strip pipeline runs");
+    check_golden("table3_faaslight.json", &outcome_to_json(&outcome));
+}
+
+#[test]
+fn disabled_chaos_is_byte_identical_to_no_chaos() {
+    // The passthrough contract, proven at the serialization layer: a
+    // pipeline built with an explicit all-zero chaos config produces the
+    // same bytes as one that never heard of chaos — which is itself the
+    // golden above.
+    let plain = outcome_to_json(&run_rgb(pinned_pipeline_config(2025)));
+    let zeroed = outcome_to_json(&run_rgb(
+        pinned_pipeline_config(2025).with_chaos(ChaosConfig::DISABLED),
+    ));
+    let uniform_zero = outcome_to_json(&run_rgb(
+        pinned_pipeline_config(2025).with_chaos(ChaosConfig::uniform(0.0)),
+    ));
+    assert_eq!(plain, zeroed);
+    assert_eq!(plain, uniform_zero);
+    assert!(!plain.contains("resilience"));
+    check_golden("pipeline_rgb.json", &plain);
+}
