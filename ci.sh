@@ -18,6 +18,12 @@ cargo test -q
 echo "==> cargo test -q --test chaos_sweep --test golden_reports"
 cargo test -q --test chaos_sweep --test golden_reports
 
+# The hot-path bench harness must run end to end and emit well-formed JSON
+# (the binary validates its own report before writing); --smoke keeps the
+# iteration counts CI-sized.
+echo "==> slimstart bench --smoke"
+cargo run --release --quiet --bin slimstart -- bench --smoke --out target/bench-smoke.json
+
 # Disabled tests rot: nothing under tests/ may be #[ignore]d.
 echo "==> checking for #[ignore] in tests/"
 if grep -rn "#\[ignore" tests/*.rs; then

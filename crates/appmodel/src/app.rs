@@ -5,9 +5,10 @@
 //! invariants (acyclic global-import graph, in-range ids, probabilities in
 //! `[0, 1]`, at least one handler).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
+use slimstart_simcore::intern::Interner;
 use slimstart_simcore::time::SimDuration;
 
 use crate::error::AppModelError;
@@ -381,7 +382,11 @@ impl Application {
 #[derive(Debug, Clone)]
 pub struct AppBuilder {
     app: Application,
-    module_names: HashMap<String, ModuleId>,
+    /// Dotted module names interned once; `module_of_symbol[sym]` maps the
+    /// dense symbol id back to the module. Avoids one owned-`String` map
+    /// entry per module and makes `module_by_name` a fixed-width hash probe.
+    module_names: Interner,
+    module_of_symbol: Vec<ModuleId>,
 }
 
 impl AppBuilder {
@@ -396,7 +401,8 @@ impl AppBuilder {
                 libraries: Vec::new(),
                 handlers: Vec::new(),
             },
-            module_names: HashMap::new(),
+            module_names: Interner::new(),
+            module_of_symbol: Vec::new(),
         }
     }
 
@@ -439,7 +445,14 @@ impl AppBuilder {
 
     fn push_module(&mut self, module: Module) -> ModuleId {
         let id = ModuleId::from_index(self.app.modules.len());
-        self.module_names.insert(module.name().to_string(), id);
+        let sym = self.module_names.intern(module.name());
+        if sym.index() == self.module_of_symbol.len() {
+            self.module_of_symbol.push(id);
+        } else {
+            // Duplicate name: keep latest, matching the old HashMap insert
+            // semantics. finish() rejects duplicates during validation.
+            self.module_of_symbol[sym.index()] = id;
+        }
         // A module whose name is a strict prefix of an existing one (or vice
         // versa) is a package; fix file forms lazily in finish().
         self.app.modules.push(module);
@@ -449,7 +462,9 @@ impl AppBuilder {
 
     /// Looks up a previously added module by dotted name.
     pub fn module_by_name(&self, name: &str) -> Option<ModuleId> {
-        self.module_names.get(name).copied()
+        self.module_names
+            .get(name)
+            .map(|sym| self.module_of_symbol[sym.index()])
     }
 
     /// Declares that `importer` imports `target` at source `line`.

@@ -63,6 +63,7 @@ pub mod ids;
 pub mod imports;
 pub mod library;
 pub mod module;
+pub mod names;
 pub mod source;
 pub mod synth;
 
@@ -75,3 +76,4 @@ pub use ids::{FunctionId, HandlerId, LibraryId, ModuleId};
 pub use imports::{ImportDecl, ImportMode};
 pub use library::Library;
 pub use module::Module;
+pub use names::NameTable;

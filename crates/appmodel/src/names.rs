@@ -1,0 +1,167 @@
+//! Interned name lookup over a finished [`Application`].
+//!
+//! [`NameTable`] interns every module, function and handler name exactly
+//! once (insertion order: modules, then functions, then handlers — so
+//! symbol ids are a pure function of the application, independent of
+//! hashing, threads or run count) and exposes symbol-keyed lookups. Hot
+//! consumers — the `pyrt` loader resolving dotted package ancestry, the
+//! CCT renderer — get `&str → Symbol → id` resolution without allocating
+//! per query, where `Application::module_by_name` is a linear scan over
+//! owned strings.
+
+use slimstart_simcore::intern::{Interner, Symbol};
+
+use crate::app::Application;
+use crate::ids::{FunctionId, HandlerId, ModuleId};
+
+/// Interned module/function/handler names for one application.
+#[derive(Debug, Clone)]
+pub struct NameTable {
+    interner: Interner,
+    /// Symbol-indexed reverse map; `None` for symbols that are not module
+    /// names (e.g. a function that happens to share no module's name).
+    module_of_symbol: Vec<Option<ModuleId>>,
+    /// ModuleId-indexed symbols, dense.
+    module_symbols: Vec<Symbol>,
+    function_symbols: Vec<Symbol>,
+    handler_symbols: Vec<Symbol>,
+}
+
+impl NameTable {
+    /// Interns all names of `app`. Symbol ids depend only on the
+    /// application's contents, in declaration order.
+    pub fn build(app: &Application) -> NameTable {
+        let mut interner = Interner::with_capacity(
+            app.modules().len() + app.functions().len() + app.handlers().len(),
+        );
+        let module_symbols: Vec<Symbol> = app
+            .modules()
+            .iter()
+            .map(|m| interner.intern(m.name()))
+            .collect();
+        let function_symbols: Vec<Symbol> = app
+            .functions()
+            .iter()
+            .map(|f| interner.intern(f.name()))
+            .collect();
+        let handler_symbols: Vec<Symbol> = app
+            .handlers()
+            .iter()
+            .map(|h| interner.intern(h.name()))
+            .collect();
+        let mut module_of_symbol = vec![None; interner.len()];
+        for (i, sym) in module_symbols.iter().enumerate() {
+            module_of_symbol[sym.index()] = Some(ModuleId::from_index(i));
+        }
+        NameTable {
+            interner,
+            module_of_symbol,
+            module_symbols,
+            function_symbols,
+            handler_symbols,
+        }
+    }
+
+    /// The interned symbol of a module's dotted name.
+    #[inline]
+    pub fn module_symbol(&self, id: ModuleId) -> Symbol {
+        self.module_symbols[id.index()]
+    }
+
+    /// The interned symbol of a function's name.
+    #[inline]
+    pub fn function_symbol(&self, id: FunctionId) -> Symbol {
+        self.function_symbols[id.index()]
+    }
+
+    /// The interned symbol of a handler's name.
+    #[inline]
+    pub fn handler_symbol(&self, id: HandlerId) -> Symbol {
+        self.handler_symbols[id.index()]
+    }
+
+    /// Resolves a dotted module name without allocating.
+    #[inline]
+    pub fn module_by_name(&self, name: &str) -> Option<ModuleId> {
+        let sym = self.interner.get(name)?;
+        self.module_of_symbol.get(sym.index()).copied().flatten()
+    }
+
+    /// The string behind any symbol issued by this table.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The underlying interner (read-only).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppBuilder;
+    use slimstart_simcore::time::SimDuration;
+
+    fn app() -> Application {
+        let mut b = AppBuilder::new("t");
+        let lib = b.add_library("pkg");
+        let h = b.add_app_module("handler", SimDuration::from_millis(1), 1);
+        let root = b.add_library_module("pkg", SimDuration::from_millis(1), 1, false, lib);
+        b.add_library_module("pkg.sub", SimDuration::from_millis(1), 1, false, lib);
+        b.add_import(h, root, 2, crate::imports::ImportMode::Global)
+            .unwrap();
+        let f = b.add_function("main", h, 3, vec![]);
+        b.add_handler("entry", f);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trips_module_names() {
+        let app = app();
+        let table = NameTable::build(&app);
+        for (i, m) in app.modules().iter().enumerate() {
+            let id = ModuleId::from_index(i);
+            assert_eq!(table.module_by_name(m.name()), Some(id));
+            assert_eq!(table.resolve(table.module_symbol(id)), m.name());
+        }
+        assert_eq!(table.module_by_name("nope"), None);
+    }
+
+    #[test]
+    fn function_and_handler_symbols_resolve() {
+        let app = app();
+        let table = NameTable::build(&app);
+        assert_eq!(
+            table.resolve(table.function_symbol(FunctionId::from_index(0))),
+            "main"
+        );
+        assert_eq!(
+            table.resolve(table.handler_symbol(HandlerId::from_index(0))),
+            "entry"
+        );
+    }
+
+    #[test]
+    fn symbols_are_deterministic_across_builds() {
+        let app = app();
+        let a = NameTable::build(&app);
+        let b = NameTable::build(&app);
+        for i in 0..app.modules().len() {
+            let id = ModuleId::from_index(i);
+            assert_eq!(a.module_symbol(id), b.module_symbol(id));
+        }
+        assert_eq!(a.interner().len(), b.interner().len());
+    }
+
+    #[test]
+    fn agrees_with_linear_lookup() {
+        let app = app();
+        let table = NameTable::build(&app);
+        for m in app.modules() {
+            assert_eq!(table.module_by_name(m.name()), app.module_by_name(m.name()));
+        }
+    }
+}

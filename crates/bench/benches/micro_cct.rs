@@ -35,7 +35,7 @@ fn synth_samples(n: usize, seed: u64) -> Vec<SampleRecord> {
                 .map(|d| sites[(d * 7 + rng.next_below(8)) % sites.len()])
                 .collect();
             SampleRecord {
-                path,
+                path: path.into(),
                 is_init: rng.chance(0.3),
             }
         })
@@ -96,7 +96,7 @@ fn main() {
                 })
                 .collect();
             SampleRecord {
-                path,
+                path: path.into(),
                 is_init: rng.chance(0.3),
             }
         })

@@ -1,0 +1,537 @@
+//! The `slimstart bench` hot-path harness.
+//!
+//! Wall-clock micro-benchmarks for the profiler's hot paths, each measuring
+//! the **legacy** implementation (retained in-tree precisely so it can be
+//! raced) against the **current** one *in the same process and run*:
+//!
+//! * **sampler** — per-sample stack capture: the legacy `Vec<Frame>` clone
+//!   ([`CallStack::snapshot`]) vs the fingerprint-gated
+//!   [`CaptureCache`](slimstart_core::sampler::CaptureCache) that reuses one
+//!   `Arc<[Frame]>` allocation across identical stacks.
+//! * **cct_merge** — merging one calling-context tree into another: the
+//!   retained [`ReferenceCct`](slimstart_core::cct::reference::ReferenceCct)
+//!   (per-sample re-insertion through a `HashMap` index) vs the arena
+//!   [`Cct`](slimstart_core::Cct) (`insert_weighted` per node, fast-hash
+//!   child index).
+//! * **cold_start** — a full process cold start: building the import-closure
+//!   [`LoaderPlan`](slimstart_pyrt::loader::LoaderPlan) per process
+//!   ([`Process::new`]) vs sharing one prebuilt plan across processes
+//!   ([`Process::with_plan`]), as the platform does per deployment.
+//! * **fleet** — end-to-end throughput: a small fleet run reporting
+//!   applications optimized per wall-clock second.
+//!
+//! The numbers land in a hand-rolled JSON document (same writer idiom as the
+//! fleet report) that `ci.sh` round-trips through [`validate_json`] in
+//! `--smoke` mode. Wall-clock timing is inherently machine-dependent; the
+//! per-op ratios are the stable signal.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use slimstart_appmodel::catalog::by_code;
+use slimstart_appmodel::Application;
+use slimstart_core::cct::reference::ReferenceCct;
+use slimstart_core::profile::SampleRecord;
+use slimstart_core::sampler::CaptureCache;
+use slimstart_core::Cct;
+use slimstart_fleet::{FleetConfig, FleetOrchestrator};
+use slimstart_pyrt::loader::LoaderPlan;
+use slimstart_pyrt::process::Process;
+use slimstart_pyrt::stack::{CallStack, Frame, FrameKind};
+use slimstart_simcore::rng::SimRng;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Smoke mode: tiny iteration counts, suitable for CI (validates that
+    /// the harness runs and emits well-formed JSON, not that numbers are
+    /// stable).
+    pub smoke: bool,
+    /// Seed for the synthetic sample streams and the fleet run.
+    pub seed: u64,
+    /// Fleet worker threads.
+    pub threads: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            smoke: false,
+            seed: 2025,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// One legacy-vs-current comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// Mean ns/op of the legacy implementation.
+    pub legacy_ns: f64,
+    /// Mean ns/op of the current implementation.
+    pub current_ns: f64,
+    /// Iterations measured per variant.
+    pub iters: u64,
+}
+
+impl Comparison {
+    /// legacy / current — how many times faster the current path is.
+    pub fn speedup(&self) -> f64 {
+        if self.current_ns > 0.0 {
+            self.legacy_ns / self.current_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The harness result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Config echo: smoke mode.
+    pub smoke: bool,
+    /// Config echo: seed.
+    pub seed: u64,
+    /// Per-sample stack capture.
+    pub sampler: Comparison,
+    /// CCT merge.
+    pub cct_merge: Comparison,
+    /// Process cold start (per-process plan vs shared plan).
+    pub cold_start: Comparison,
+    /// Fleet apps optimized per wall-clock second.
+    pub fleet_apps_per_second: f64,
+    /// Fleet size used for the throughput figure.
+    pub fleet_apps: usize,
+    /// Fleet worker threads used.
+    pub fleet_threads: usize,
+}
+
+/// Times `op` over `iters` iterations (after one warm-up call) and returns
+/// the mean ns/op.
+fn time_ns<T>(iters: u64, mut op: impl FnMut() -> T) -> f64 {
+    black_box(op());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(op());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// A plausibly-deep production stack: module init at the bottom, a chain of
+/// calls above, as the sampler sees during a sampled cold start.
+fn bench_stack() -> CallStack {
+    let mut stack = CallStack::new();
+    stack.push(
+        FrameKind::ModuleInit(slimstart_appmodel::ModuleId::from_index(0)),
+        1,
+    );
+    for i in 0..11 {
+        stack.push(
+            FrameKind::Call(slimstart_appmodel::FunctionId::from_index(i)),
+            10 + i as u32,
+        );
+    }
+    stack
+}
+
+fn bench_sampler(iters: u64) -> Comparison {
+    let stack = bench_stack();
+    // Legacy: every sample cloned the live stack into a fresh Vec.
+    let legacy_ns = time_ns(iters, || {
+        let path: Arc<[Frame]> = stack.snapshot().into();
+        path
+    });
+    // Current: identical stacks hit the fingerprint fast path and share one
+    // allocation.
+    let mut cache = CaptureCache::new();
+    let current_ns = time_ns(iters, || cache.capture(&stack));
+    Comparison {
+        legacy_ns,
+        current_ns,
+        iters,
+    }
+}
+
+/// Synthesizes a sample stream shaped like a real profile: few distinct
+/// call sites, moderate depth, heavy repetition.
+fn synth_samples(n: usize, seed: u64) -> Vec<SampleRecord> {
+    let mut rng = SimRng::seed_from(seed);
+    let sites: Vec<Frame> = (0..48)
+        .map(|i| Frame {
+            kind: FrameKind::Call(slimstart_appmodel::FunctionId::from_index(i)),
+            line: 10 + (i % 5) as u32,
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let depth = 3 + rng.next_below(6);
+            let path: Vec<Frame> = (0..depth)
+                .map(|d| sites[(d * 5 + rng.next_below(6)) % sites.len()])
+                .collect();
+            SampleRecord {
+                path: path.into(),
+                is_init: rng.chance(0.3),
+            }
+        })
+        .collect()
+}
+
+fn bench_cct_merge(samples: usize, iters: u64, seed: u64) -> Comparison {
+    let left = synth_samples(samples, seed);
+    let right = synth_samples(samples, seed ^ 0x5eed);
+
+    let mut ref_a = ReferenceCct::new();
+    let mut ref_b = ReferenceCct::new();
+    let mut cur_a = Cct::new();
+    let mut cur_b = Cct::new();
+    for s in &left {
+        ref_a.insert(&s.path, s.is_init);
+        cur_a.insert(&s.path, s.is_init);
+    }
+    for s in &right {
+        ref_b.insert(&s.path, s.is_init);
+        cur_b.insert(&s.path, s.is_init);
+    }
+
+    let legacy_ns = time_ns(iters, || {
+        let mut merged = ref_a.clone();
+        merged.merge(&ref_b);
+        merged.total_samples()
+    });
+    let current_ns = time_ns(iters, || {
+        let mut merged = cur_a.clone();
+        merged.merge(&cur_b);
+        merged.total_samples()
+    });
+    Comparison {
+        legacy_ns,
+        current_ns,
+        iters,
+    }
+}
+
+fn bench_cold_start(iters: u64, seed: u64) -> Comparison {
+    let built = by_code("R-GB")
+        .expect("catalog entry R-GB exists")
+        .build(seed)
+        .expect("catalog app builds");
+    let app: Arc<Application> = Arc::new(built.app);
+    let root = built.app_module;
+
+    // Legacy: every process analyzed the import graph afresh.
+    let legacy_app = Arc::clone(&app);
+    let legacy_ns = time_ns(iters, move || {
+        let mut proc = Process::new(Arc::clone(&legacy_app), 1.0);
+        proc.cold_start(root).expect("cold start succeeds")
+    });
+
+    // Current: the platform builds one plan per deployment and every
+    // container's process shares it.
+    let plan = Arc::new(LoaderPlan::build(&app));
+    let current_ns = time_ns(iters, move || {
+        let mut proc = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), 1.0);
+        proc.cold_start(root).expect("cold start succeeds")
+    });
+    Comparison {
+        legacy_ns,
+        current_ns,
+        iters,
+    }
+}
+
+fn bench_fleet(config: &BenchConfig) -> (f64, usize, usize) {
+    let (apps, cold_starts) = if config.smoke { (2, 10) } else { (8, 120) };
+    let fleet = FleetConfig::default()
+        .with_apps(apps)
+        .with_threads(config.threads)
+        .with_seed(config.seed)
+        .with_cold_starts(cold_starts);
+    let (_, stats) = FleetOrchestrator::new(fleet)
+        .run()
+        .expect("fleet run succeeds");
+    (stats.apps_per_second, apps, stats.threads)
+}
+
+/// Runs every measurement and assembles the report.
+pub fn run(config: &BenchConfig) -> BenchReport {
+    let (sampler_iters, merge_samples, merge_iters, cold_iters) = if config.smoke {
+        (10_000, 1_000, 3, 3)
+    } else {
+        (400_000, 20_000, 40, 120)
+    };
+    let sampler = bench_sampler(sampler_iters);
+    let cct_merge = bench_cct_merge(merge_samples, merge_iters, config.seed);
+    let cold_start = bench_cold_start(cold_iters, config.seed);
+    let (fleet_apps_per_second, fleet_apps, fleet_threads) = bench_fleet(config);
+    BenchReport {
+        smoke: config.smoke,
+        seed: config.seed,
+        sampler,
+        cct_merge,
+        cold_start,
+        fleet_apps_per_second,
+        fleet_apps,
+        fleet_threads,
+    }
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn comparison_json(out: &mut String, key: &str, c: &Comparison) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "  \"{key}\": {{\n    \"legacy_ns_per_op\": {},\n    \"current_ns_per_op\": {},\n    \"speedup\": {},\n    \"iters\": {}\n  }}",
+        num(c.legacy_ns),
+        num(c.current_ns),
+        num(c.speedup()),
+        c.iters
+    );
+}
+
+impl BenchReport {
+    /// Serializes the report. Stable key order; no external serializer.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v1\",");
+        let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        comparison_json(&mut out, "sampler", &self.sampler);
+        out.push_str(",\n");
+        comparison_json(&mut out, "cct_merge", &self.cct_merge);
+        out.push_str(",\n");
+        comparison_json(&mut out, "cold_start", &self.cold_start);
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "  \"fleet\": {{\n    \"apps\": {},\n    \"threads\": {},\n    \"apps_per_second\": {}\n  }}\n",
+            self.fleet_apps,
+            self.fleet_threads,
+            num(self.fleet_apps_per_second)
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "hot-path bench (seed {}{})",
+            self.seed,
+            if self.smoke { ", smoke" } else { "" }
+        );
+        for (name, c) in [
+            ("sampler capture", &self.sampler),
+            ("cct merge", &self.cct_merge),
+            ("cold start", &self.cold_start),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {name:<16} legacy {:>10.1} ns/op   current {:>10.1} ns/op   {:>6.2}x",
+                c.legacy_ns,
+                c.current_ns,
+                c.speedup()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<16} {} apps on {} thread(s): {:.2} apps/s",
+            "fleet", self.fleet_apps, self.fleet_threads, self.fleet_apps_per_second
+        );
+        out
+    }
+}
+
+/// A minimal JSON well-formedness checker (objects, arrays, strings,
+/// numbers, booleans, null). `ci.sh` runs the smoke bench through this so a
+/// writer regression fails the build without pulling in a JSON dependency.
+///
+/// # Errors
+///
+/// Returns a byte offset and message for the first syntax error.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening quote
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 2; // escape plus escaped byte
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut saw_digit = false;
+    while let Some(&c) = bytes.get(*pos) {
+        if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+            saw_digit |= c.is_ascii_digit();
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    if saw_digit {
+        Ok(())
+    } else {
+        Err(format!("malformed number at byte {start}"))
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("malformed literal at byte {pos}", pos = *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_well_formed_json() {
+        let config = BenchConfig {
+            smoke: true,
+            seed: 7,
+            threads: 2,
+        };
+        let report = run(&config);
+        validate_json(&report.to_json()).expect("report JSON is well-formed");
+        assert!(report.sampler.legacy_ns > 0.0);
+        assert!(report.cct_merge.current_ns > 0.0);
+        assert!(report.fleet_apps_per_second > 0.0);
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\": [1, -2.5e3, true, null, \"s\\\"t\"]}").unwrap();
+        validate_json("  {} ").unwrap();
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("[1, 2").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("nul").is_err());
+        assert!(validate_json("\"open").is_err());
+    }
+
+    #[test]
+    fn comparison_speedup_ratio() {
+        let c = Comparison {
+            legacy_ns: 100.0,
+            current_ns: 25.0,
+            iters: 10,
+        };
+        assert!((c.speedup() - 4.0).abs() < 1e-9);
+    }
+}

@@ -8,13 +8,25 @@
 //! activity to callers along the chain and solves the cascading-dependency
 //! problem: an orchestrator with 1 % self samples still shows the full
 //! weight of the work it coordinates (the Lib-1 problem).
+//!
+//! # Layout
+//!
+//! Nodes live in one arena `Vec` with intrusive `first_child`/`last_child`/
+//! `next_sibling` links (u32 indices, `u32::MAX` = none) instead of a
+//! per-node `Vec<usize>` of children, and the `(parent, key) → child`
+//! lookup uses a seedless FxHash map, so inserting a hot path is a few
+//! fixed-width probes with no per-node heap allocations. A faithful
+//! pre-arena implementation is retained in [`reference`] for differential
+//! testing and as the benchmark's legacy baseline.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use slimstart_appmodel::Application;
 use slimstart_pyrt::stack::{Frame, FrameKind};
 
 use crate::profile::SampleRecord;
+
+/// Intrusive-link sentinel: "no node".
+const NONE: u32 = u32::MAX;
 
 /// Node identity under one parent: the frame and its current line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,8 +45,10 @@ pub struct CctNode {
     pub key: CctKey,
     /// Parent node index (`None` for the synthetic root).
     pub parent: Option<usize>,
-    /// Child node indices.
-    pub children: Vec<usize>,
+    /// Intrusive links (u32::MAX = none); traverse via [`Cct::children`].
+    first_child: u32,
+    last_child: u32,
+    next_sibling: u32,
     /// Samples whose innermost frame landed here.
     pub self_samples: u64,
     /// Of those, samples taken during module initialization.
@@ -42,9 +56,28 @@ pub struct CctNode {
 }
 
 impl CctNode {
+    fn new(key: CctKey, parent: Option<usize>) -> CctNode {
+        CctNode {
+            key,
+            parent,
+            first_child: NONE,
+            last_child: NONE,
+            next_sibling: NONE,
+            self_samples: 0,
+            self_init_samples: 0,
+        }
+    }
+
     /// Runtime (non-init) self samples.
     pub fn self_runtime_samples(&self) -> u64 {
         self.self_samples - self.self_init_samples
+    }
+}
+
+fn root_key() -> CctKey {
+    CctKey {
+        kind: FrameKind::ModuleInit(slimstart_appmodel::ModuleId::from_index(u32::MAX as usize)),
+        line: 0,
     }
 }
 
@@ -73,27 +106,15 @@ impl CctNode {
 #[derive(Debug, Clone, Default)]
 pub struct Cct {
     nodes: Vec<CctNode>,
-    index: HashMap<(usize, CctKey), usize>,
+    index: FxHashMap<(u32, CctKey), u32>,
 }
 
 impl Cct {
     /// Creates an empty tree with just the synthetic root.
     pub fn new() -> Self {
-        let root = CctNode {
-            key: CctKey {
-                kind: FrameKind::ModuleInit(slimstart_appmodel::ModuleId::from_index(
-                    u32::MAX as usize,
-                )),
-                line: 0,
-            },
-            parent: None,
-            children: Vec::new(),
-            self_samples: 0,
-            self_init_samples: 0,
-        };
         Cct {
-            nodes: vec![root],
-            index: HashMap::new(),
+            nodes: vec![CctNode::new(root_key(), None)],
+            index: FxHashMap::default(),
         }
     }
 
@@ -111,10 +132,19 @@ impl Cct {
 
     /// Inserts one sampled call path, bumping the leaf's self count.
     pub fn insert(&mut self, path: &[Frame], is_init: bool) {
+        self.insert_weighted(path, 1, u64::from(is_init));
+    }
+
+    /// Inserts a path carrying `samples` observations at once, of which
+    /// `init_samples` were taken during module initialization. Equivalent
+    /// to `samples` repeated [`Cct::insert`] calls but walks the path once
+    /// — the workhorse behind O(paths) merging.
+    pub fn insert_weighted(&mut self, path: &[Frame], samples: u64, init_samples: u64) {
+        debug_assert!(init_samples <= samples);
         if path.is_empty() {
             return;
         }
-        let mut node = 0usize;
+        let mut node = 0u32;
         for frame in path {
             let key = CctKey {
                 kind: frame.kind,
@@ -122,25 +152,29 @@ impl Cct {
             };
             node = match self.index.get(&(node, key)) {
                 Some(&child) => child,
-                None => {
-                    let child = self.nodes.len();
-                    self.nodes.push(CctNode {
-                        key,
-                        parent: Some(node),
-                        children: Vec::new(),
-                        self_samples: 0,
-                        self_init_samples: 0,
-                    });
-                    self.nodes[node].children.push(child);
-                    self.index.insert((node, key), child);
-                    child
-                }
+                None => self.add_child(node, key),
             };
         }
-        self.nodes[node].self_samples += 1;
-        if is_init {
-            self.nodes[node].self_init_samples += 1;
+        let leaf = &mut self.nodes[node as usize];
+        leaf.self_samples += samples;
+        leaf.self_init_samples += init_samples;
+    }
+
+    /// Appends a fresh child of `parent` with identity `key`, maintaining
+    /// the intrusive sibling chain and the child index.
+    fn add_child(&mut self, parent: u32, key: CctKey) -> u32 {
+        let child = u32::try_from(self.nodes.len()).expect("CCT node count fits in u32");
+        self.nodes.push(CctNode::new(key, Some(parent as usize)));
+        let p = &mut self.nodes[parent as usize];
+        let prev_last = p.last_child;
+        p.last_child = child;
+        if prev_last == NONE {
+            p.first_child = child;
+        } else {
+            self.nodes[prev_last as usize].next_sibling = child;
         }
+        self.index.insert((parent, key), child);
+        child
     }
 
     /// Number of nodes including the root.
@@ -165,6 +199,16 @@ impl Cct {
     /// All nodes (index 0 is the synthetic root).
     pub fn nodes(&self) -> &[CctNode] {
         &self.nodes
+    }
+
+    /// The children of node `i` in insertion order, via the intrusive
+    /// sibling chain.
+    pub fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let first = self.nodes[i].first_child;
+        std::iter::successors((first != NONE).then_some(first as usize), move |&n| {
+            let next = self.nodes[n].next_sibling;
+            (next != NONE).then_some(next as usize)
+        })
     }
 
     /// Total samples recorded.
@@ -217,7 +261,8 @@ impl Cct {
     }
 
     /// Renders a node's calling context as `file:line → file:line → …`,
-    /// the format of the paper's report tables.
+    /// the format of the paper's report tables. (This is the display site:
+    /// frame naming and formatting happen here, never on capture paths.)
     pub fn render_path(&self, i: usize, app: &Application) -> String {
         self.path_to(i)
             .iter()
@@ -233,27 +278,164 @@ impl Cct {
     }
 
     /// Merges another tree into this one (used when combining profiling
-    /// windows).
+    /// windows). Walks each of `other`'s populated paths exactly once —
+    /// O(paths · depth), independent of how many samples each carries.
     pub fn merge(&mut self, other: &Cct) {
-        // Re-insert other's samples path by path.
+        let mut frames: Vec<Frame> = Vec::new();
         for (i, node) in other.nodes.iter().enumerate().skip(1) {
             if node.self_samples == 0 {
                 continue;
             }
-            let frames: Vec<Frame> = other
-                .path_to(i)
-                .iter()
-                .map(|n| Frame {
+            frames.clear();
+            let mut cur = i;
+            while cur != 0 {
+                let n = &other.nodes[cur];
+                frames.push(Frame {
                     kind: n.key.kind,
                     line: n.key.line,
-                })
-                .collect();
-            let runtime = node.self_samples - node.self_init_samples;
-            for _ in 0..runtime {
-                self.insert(&frames, false);
+                });
+                cur = n.parent.expect("non-root has parent");
             }
-            for _ in 0..node.self_init_samples {
-                self.insert(&frames, true);
+            frames.reverse();
+            self.insert_weighted(&frames, node.self_samples, node.self_init_samples);
+        }
+    }
+}
+
+/// The pre-arena CCT, retained verbatim as a differential-testing oracle
+/// and as the `slimstart bench` legacy baseline: per-node `Vec` of
+/// children, `std`-hasher index, merging by re-inserting one path per
+/// sample. Not used on any production path.
+pub mod reference {
+    use std::collections::HashMap;
+
+    use slimstart_pyrt::stack::Frame;
+
+    use super::{root_key, CctKey};
+
+    /// One calling-context node of the reference tree.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RefNode {
+        /// Identity.
+        pub key: CctKey,
+        /// Parent node index (`None` for the root).
+        pub parent: Option<usize>,
+        /// Child node indices, insertion-ordered.
+        pub children: Vec<usize>,
+        /// Samples whose innermost frame landed here.
+        pub self_samples: u64,
+        /// Of those, samples taken during module initialization.
+        pub self_init_samples: u64,
+    }
+
+    /// The original `HashMap`-indexed calling context tree.
+    #[derive(Debug, Clone, Default)]
+    pub struct ReferenceCct {
+        nodes: Vec<RefNode>,
+        index: HashMap<(usize, CctKey), usize>,
+    }
+
+    impl ReferenceCct {
+        /// Creates an empty tree with just the synthetic root.
+        pub fn new() -> Self {
+            ReferenceCct {
+                nodes: vec![RefNode {
+                    key: root_key(),
+                    parent: None,
+                    children: Vec::new(),
+                    self_samples: 0,
+                    self_init_samples: 0,
+                }],
+                index: HashMap::new(),
+            }
+        }
+
+        /// Inserts one sampled call path, bumping the leaf's self count.
+        pub fn insert(&mut self, path: &[Frame], is_init: bool) {
+            if path.is_empty() {
+                return;
+            }
+            let mut node = 0usize;
+            for frame in path {
+                let key = CctKey {
+                    kind: frame.kind,
+                    line: frame.line,
+                };
+                node = match self.index.get(&(node, key)) {
+                    Some(&child) => child,
+                    None => {
+                        let child = self.nodes.len();
+                        self.nodes.push(RefNode {
+                            key,
+                            parent: Some(node),
+                            children: Vec::new(),
+                            self_samples: 0,
+                            self_init_samples: 0,
+                        });
+                        self.nodes[node].children.push(child);
+                        self.index.insert((node, key), child);
+                        child
+                    }
+                };
+            }
+            self.nodes[node].self_samples += 1;
+            if is_init {
+                self.nodes[node].self_init_samples += 1;
+            }
+        }
+
+        /// All nodes (index 0 is the synthetic root).
+        pub fn nodes(&self) -> &[RefNode] {
+            &self.nodes
+        }
+
+        /// Total samples recorded.
+        pub fn total_samples(&self) -> u64 {
+            self.nodes.iter().map(|n| n.self_samples).sum()
+        }
+
+        /// Inclusive sample counts, index-aligned with nodes.
+        pub fn inclusive(&self) -> Vec<u64> {
+            let mut inclusive: Vec<u64> = self.nodes.iter().map(|n| n.self_samples).collect();
+            for i in (1..self.nodes.len()).rev() {
+                let parent = self.nodes[i].parent.expect("non-root has parent");
+                inclusive[parent] += inclusive[i];
+            }
+            inclusive
+        }
+
+        /// The root-to-node path of frames (root exclusive), outermost
+        /// first.
+        pub fn path_of(&self, i: usize) -> Vec<Frame> {
+            let mut frames = Vec::new();
+            let mut cur = i;
+            while cur != 0 {
+                let n = &self.nodes[cur];
+                frames.push(Frame {
+                    kind: n.key.kind,
+                    line: n.key.line,
+                });
+                cur = n.parent.expect("non-root has parent");
+            }
+            frames.reverse();
+            frames
+        }
+
+        /// Merges another tree into this one, one insert per sample (the
+        /// original quadratic-ish algorithm).
+        pub fn merge(&mut self, other: &ReferenceCct) {
+            for (i, node) in other.nodes.iter().enumerate().skip(1) {
+                if node.self_samples == 0 {
+                    continue;
+                }
+                let frames = other.path_of(i);
+                let runtime = node.self_samples - node.self_init_samples;
+                for _ in 0..runtime {
+                    self.insert(&frames, false);
+                }
+                for _ in 0..node.self_init_samples {
+                    self.insert(&frames, true);
+                }
             }
         }
     }
@@ -371,11 +553,11 @@ mod tests {
     fn from_samples_builds_tree() {
         let samples = vec![
             SampleRecord {
-                path: vec![call(0, 5), call(1, 6)],
+                path: vec![call(0, 5), call(1, 6)].into(),
                 is_init: false,
             },
             SampleRecord {
-                path: vec![init(0, 1)],
+                path: vec![init(0, 1)].into(),
                 is_init: true,
             },
         ];
@@ -398,5 +580,75 @@ mod tests {
         cct.insert(&[call(2, 3)], true);
         let inclusive = cct.inclusive();
         assert_eq!(inclusive[0], cct.total_samples());
+    }
+
+    #[test]
+    fn children_follow_sibling_chain_in_insertion_order() {
+        let mut cct = Cct::new();
+        cct.insert(&[call(0, 1)], false);
+        cct.insert(&[call(1, 2)], false);
+        cct.insert(&[call(0, 1), call(2, 3)], false);
+        cct.insert(&[call(1, 2), call(3, 4)], false);
+        let roots: Vec<usize> = cct.children(0).collect();
+        assert_eq!(roots, vec![1, 2]);
+        assert_eq!(cct.children(1).count(), 1);
+        assert_eq!(cct.children(2).count(), 1);
+        // Leaves have no children.
+        let leaf = cct.children(1).next().unwrap();
+        assert_eq!(cct.children(leaf).count(), 0);
+        // Every child's parent link points back.
+        for i in 0..cct.len() {
+            for c in cct.children(i) {
+                assert_eq!(cct.node(c).parent, Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_weighted_equals_repeated_inserts() {
+        let mut weighted = Cct::new();
+        weighted.insert_weighted(&[call(0, 1), call(1, 2)], 7, 3);
+        let mut repeated = Cct::new();
+        for _ in 0..4 {
+            repeated.insert(&[call(0, 1), call(1, 2)], false);
+        }
+        for _ in 0..3 {
+            repeated.insert(&[call(0, 1), call(1, 2)], true);
+        }
+        assert_eq!(weighted.len(), repeated.len());
+        assert_eq!(weighted.total_samples(), repeated.total_samples());
+        for (a, b) in weighted.nodes().iter().zip(repeated.nodes()) {
+            assert_eq!(a.self_samples, b.self_samples);
+            assert_eq!(a.self_init_samples, b.self_init_samples);
+        }
+    }
+
+    #[test]
+    fn merge_matches_reference_merge() {
+        let paths: Vec<(Vec<Frame>, bool)> = vec![
+            (vec![call(0, 1)], false),
+            (vec![call(0, 1), call(1, 2)], false),
+            (vec![init(0, 1)], true),
+            (vec![call(0, 1), call(1, 2)], true),
+            (vec![call(2, 9)], false),
+        ];
+        let mut arena_a = Cct::new();
+        let mut arena_b = Cct::new();
+        let mut ref_a = reference::ReferenceCct::new();
+        let mut ref_b = reference::ReferenceCct::new();
+        for (i, (path, is_init)) in paths.iter().enumerate() {
+            if i % 2 == 0 {
+                arena_a.insert(path, *is_init);
+                ref_a.insert(path, *is_init);
+            } else {
+                arena_b.insert(path, *is_init);
+                ref_b.insert(path, *is_init);
+            }
+        }
+        arena_a.merge(&arena_b);
+        ref_a.merge(&ref_b);
+        assert_eq!(arena_a.total_samples(), ref_a.total_samples());
+        assert_eq!(arena_a.len(), ref_a.nodes().len());
+        assert_eq!(arena_a.inclusive(), ref_a.inclusive());
     }
 }

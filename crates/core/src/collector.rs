@@ -188,7 +188,8 @@ mod tests {
             path: vec![Frame {
                 kind: FrameKind::Call(FunctionId::from_index(i)),
                 line: 7,
-            }],
+            }]
+            .into(),
             is_init: false,
         }
     }

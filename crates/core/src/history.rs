@@ -156,13 +156,13 @@ mod tests {
         };
         for _ in 0..lib_samples {
             store.samples.push(SampleRecord {
-                path: vec![frame(f_main), frame(f_lib)],
+                path: vec![frame(f_main), frame(f_lib)].into(),
                 is_init: false,
             });
         }
         for _ in 0..app_samples {
             store.samples.push(SampleRecord {
-                path: vec![frame(f_main)],
+                path: vec![frame(f_main)].into(),
                 is_init: false,
             });
         }

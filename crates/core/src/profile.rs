@@ -17,10 +17,15 @@ use slimstart_pyrt::stack::Frame;
 use slimstart_simcore::time::SimDuration;
 
 /// One captured stack sample.
+///
+/// The path is a shared `Arc<[Frame]>`: repeated identical stacks (the
+/// common case — long module inits and hot loops sampled many times) all
+/// point at one allocation, cloned by reference count instead of by
+/// copying frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleRecord {
     /// The call path, outermost frame first.
-    pub path: Vec<Frame>,
+    pub path: Arc<[Frame]>,
     /// Whether the stack contained a module-init frame (the sample belongs
     /// to the initialization phase, not runtime — paper §IV-A2).
     pub is_init: bool,
@@ -110,7 +115,7 @@ mod tests {
     #[test]
     fn leaf_is_innermost() {
         let s = SampleRecord {
-            path: vec![frame(0), frame(1)],
+            path: vec![frame(0), frame(1)].into(),
             is_init: false,
         };
         assert_eq!(s.leaf(), &frame(1));
@@ -123,7 +128,7 @@ mod tests {
         init.insert(ModuleId::from_index(0), 500u64);
         store.absorb(
             vec![SampleRecord {
-                path: vec![frame(0)],
+                path: vec![frame(0)].into(),
                 is_init: true,
             }],
             &init,
@@ -131,7 +136,7 @@ mod tests {
         );
         store.absorb(
             vec![SampleRecord {
-                path: vec![frame(1)],
+                path: vec![frame(1)].into(),
                 is_init: false,
             }],
             &init,

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use slimstart_appmodel::{Application, ModuleId};
 use slimstart_pyrt::observer::{AdvanceContext, ExecutionObserver};
+use slimstart_pyrt::stack::{CallStack, Frame};
 use slimstart_simcore::time::{SimDuration, SimTime};
 
 use crate::collector::BatchSender;
@@ -46,12 +47,51 @@ impl std::fmt::Debug for SampleSink {
     }
 }
 
+/// Zero-clone stack capture: a one-entry cache keyed by the stack's
+/// incremental fingerprint.
+///
+/// Consecutive samples of an unchanged stack — the dominant case, since a
+/// single long `advance` (a module top-level, a hot work statement) crosses
+/// many sampling-period boundaries — return `Arc` clones of one shared
+/// path allocation. The fingerprint is a one-word filter; a hit is
+/// confirmed with a frame-slice comparison, so a (cosmically unlikely)
+/// fingerprint collision can never corrupt a capture.
+#[derive(Debug, Default)]
+pub struct CaptureCache {
+    fingerprint: u64,
+    path: Option<Arc<[Frame]>>,
+}
+
+impl CaptureCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CaptureCache::default()
+    }
+
+    /// Captures the stack's current path, reusing the previous allocation
+    /// when the stack is unchanged.
+    #[inline]
+    pub fn capture(&mut self, stack: &CallStack) -> Arc<[Frame]> {
+        let fingerprint = stack.fingerprint();
+        if let Some(cached) = &self.path {
+            if self.fingerprint == fingerprint && cached.as_ref() == stack.frames() {
+                return Arc::clone(cached);
+            }
+        }
+        let path: Arc<[Frame]> = stack.frames().into();
+        self.fingerprint = fingerprint;
+        self.path = Some(Arc::clone(&path));
+        path
+    }
+}
+
 /// A per-container profiler attachment.
 pub struct SamplerAttachment {
     config: SamplerConfig,
     sink: SampleSink,
     next_sample_at: SimTime,
     buffer: Vec<SampleRecord>,
+    capture: CaptureCache,
     init_micros: HashMap<ModuleId, u64>,
     pending_batches: u64,
     samples_taken: u64,
@@ -94,6 +134,7 @@ impl SamplerAttachment {
             config,
             sink,
             buffer: Vec::new(),
+            capture: CaptureCache::new(),
             init_micros: HashMap::new(),
             pending_batches: 0,
             samples_taken: 0,
@@ -121,7 +162,7 @@ impl ExecutionObserver for SamplerAttachment {
         while self.next_sample_at <= ctx.to {
             if self.next_sample_at > ctx.from && ctx.stack.depth() > 0 {
                 self.buffer.push(SampleRecord {
-                    path: ctx.stack.snapshot(),
+                    path: self.capture.capture(ctx.stack),
                     is_init: ctx.stack.in_init(),
                 });
                 self.samples_taken += 1;
@@ -368,6 +409,29 @@ mod tests {
         // Runtime work is 100 ms; exec also carries 2 batch flushes = 20 ms.
         assert_eq!(out.exec_time, ms(120));
         assert_eq!(store.lock().batches_transferred, 2);
+    }
+
+    #[test]
+    fn capture_cache_reuses_allocation_for_identical_stacks() {
+        use slimstart_appmodel::FunctionId;
+        use slimstart_pyrt::stack::FrameKind;
+        let mut stack = CallStack::new();
+        stack.push(FrameKind::Call(FunctionId::from_index(0)), 1);
+        let mut cache = CaptureCache::new();
+        let a = cache.capture(&stack);
+        let b = cache.capture(&stack);
+        assert!(Arc::ptr_eq(&a, &b), "unchanged stack must share the path");
+        stack.set_line(2);
+        let c = cache.capture(&stack);
+        assert!(!Arc::ptr_eq(&b, &c));
+        assert_eq!(c.as_ref(), stack.frames());
+        stack.push(FrameKind::Call(FunctionId::from_index(1)), 3);
+        let d = cache.capture(&stack);
+        assert_eq!(d.len(), 2);
+        stack.pop();
+        // Back to the previous shape: contents equal even though the cache
+        // was overwritten in between.
+        assert_eq!(cache.capture(&stack).as_ref(), c.as_ref());
     }
 
     #[test]

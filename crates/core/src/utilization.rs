@@ -49,7 +49,7 @@ impl Utilization {
             let mut libs: HashSet<LibraryId> = HashSet::new();
             let mut modules: HashSet<ModuleId> = HashSet::new();
             let mut packages: HashSet<String> = HashSet::new();
-            for frame in &sample.path {
+            for frame in sample.path.iter() {
                 let module = frame.module(app);
                 modules.insert(module);
                 if let Some(lib) = app.module(module).library() {
@@ -152,7 +152,10 @@ mod tests {
     }
 
     fn sample(path: Vec<Frame>, is_init: bool) -> SampleRecord {
-        SampleRecord { path, is_init }
+        SampleRecord {
+            path: path.into(),
+            is_init,
+        }
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl ProfileBatch {
         for s in &self.samples {
             buf.put_u8(u8::from(s.is_init));
             buf.put_u16_le(s.path.len() as u16);
-            for frame in &s.path {
+            for frame in s.path.iter() {
                 match frame.kind {
                     FrameKind::ModuleInit(m) => {
                         buf.put_u8(0);
@@ -138,7 +138,7 @@ impl ProfileBatch {
                 path.push(Frame { kind, line });
             }
             samples.push(SampleRecord {
-                path,
+                path: path.into(),
                 is_init: flags & 1 != 0,
             });
         }
@@ -184,11 +184,11 @@ mod tests {
         ProfileBatch {
             samples: vec![
                 SampleRecord {
-                    path: vec![frame_call(0, 5), frame_call(1, 9)],
+                    path: vec![frame_call(0, 5), frame_call(1, 9)].into(),
                     is_init: false,
                 },
                 SampleRecord {
-                    path: vec![frame_init(2)],
+                    path: vec![frame_init(2)].into(),
                     is_init: true,
                 },
             ],
@@ -270,7 +270,8 @@ mod tests {
                                     frame_call(rng.next_below(100), rng.next_below(500) as u32)
                                 }
                             })
-                            .collect(),
+                            .collect::<Vec<_>>()
+                            .into(),
                         is_init: rng.chance(0.5),
                     }
                 })

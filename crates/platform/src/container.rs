@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use slimstart_appmodel::Application;
+use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::process::Process;
 use slimstart_simcore::time::{SimDuration, SimTime};
 
@@ -33,9 +34,23 @@ impl std::fmt::Debug for Container {
 impl Container {
     /// Creates a container around a fresh process.
     pub fn new(id: usize, app: Arc<Application>, time_scale: f64, provisioned_at: SimTime) -> Self {
+        let plan = Arc::new(LoaderPlan::build(&app));
+        Container::with_plan(id, app, plan, time_scale, provisioned_at)
+    }
+
+    /// Creates a container around a fresh process that shares a precomputed
+    /// [`LoaderPlan`]. The platform builds the plan once per deployment so
+    /// every cold start skips the per-process prefix analysis.
+    pub fn with_plan(
+        id: usize,
+        app: Arc<Application>,
+        plan: Arc<LoaderPlan>,
+        time_scale: f64,
+        provisioned_at: SimTime,
+    ) -> Self {
         Container {
             id,
-            process: Process::new(app, time_scale),
+            process: Process::with_plan(app, plan, time_scale),
             busy_until: provisioned_at,
             last_used: provisioned_at,
         }

@@ -4,8 +4,10 @@
 use std::sync::Arc;
 
 use slimstart_appmodel::Application;
+use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::observer::ExecutionObserver;
 use slimstart_pyrt::RuntimeFault;
+use slimstart_simcore::event::EventQueue;
 use slimstart_simcore::rng::SimRng;
 use slimstart_simcore::time::{SimDuration, SimTime};
 
@@ -100,11 +102,19 @@ impl PlatformConfig {
 /// The serverless platform serving one application deployment.
 pub struct Platform {
     app: Arc<Application>,
+    /// Import-closure plan shared by every container's process, built once
+    /// per deployment.
+    plan: Arc<LoaderPlan>,
     config: PlatformConfig,
     containers: Vec<Container>,
     next_container_id: usize,
     rng: SimRng,
     records: Vec<InvocationRecord>,
+    /// Earliest instants at which some container *could* have outlived its
+    /// keep-alive window; the reclamation scan runs only when one is due.
+    expiry_events: EventQueue<()>,
+    /// Reused scratch for draining `expiry_events` without allocating.
+    expiry_scratch: Vec<(SimTime, ())>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -120,13 +130,17 @@ impl std::fmt::Debug for Platform {
 impl Platform {
     /// Creates a platform serving `app` with the given config and RNG seed.
     pub fn new(app: Arc<Application>, config: PlatformConfig, seed: u64) -> Self {
+        let plan = Arc::new(LoaderPlan::build(&app));
         Platform {
             app,
+            plan,
             config,
             containers: Vec::new(),
             next_container_id: 0,
             rng: SimRng::seed_from(seed),
             records: Vec::new(),
+            expiry_events: EventQueue::new(),
+            expiry_scratch: Vec::new(),
         }
     }
 
@@ -167,8 +181,13 @@ impl Platform {
             let time_scale = self.sample_time_scale();
             let id = self.next_container_id;
             self.next_container_id += 1;
-            let mut container =
-                Container::new(id, Arc::clone(&self.app), time_scale, SimTime::ZERO);
+            let mut container = Container::with_plan(
+                id,
+                Arc::clone(&self.app),
+                Arc::clone(&self.plan),
+                time_scale,
+                SimTime::ZERO,
+            );
             if let Some(factory) = &self.config.observer_factory {
                 let dropped = self
                     .config
@@ -184,6 +203,7 @@ impl Platform {
             let load = container.process_mut().cold_start(root)?;
             // The container is busy until its warm-up completes.
             container.occupy(SimTime::ZERO, provision + runtime_startup + load);
+            self.note_occupied(container.busy_until());
             self.containers.push(container);
         }
         Ok(())
@@ -213,11 +233,29 @@ impl Platform {
         Ok(&self.records[first_new..])
     }
 
+    /// Records the earliest instant at which a container that just became
+    /// busy until `busy_until` could next be reclaimed. `occupy` sets
+    /// `last_used = busy_until` and `expired_at` is strict (`> keep_alive`),
+    /// so one microsecond past the window is the first expired instant.
+    fn note_occupied(&mut self, busy_until: SimTime) {
+        let due = busy_until + self.config.keep_alive + SimDuration::from_micros(1);
+        self.expiry_events.schedule(due, ());
+    }
+
     fn dispatch(&mut self, inv: Invocation) -> Result<InvocationRecord, RuntimeFault> {
         let now = inv.at;
-        // Reclaim expired containers first (keep-alive policy).
+        // Reclaim expired containers first (keep-alive policy). Every occupy
+        // scheduled the occupant's earliest possible expiry, so the O(n)
+        // retain scan runs only when such an instant has actually passed —
+        // the steady-state dispatch gets by on a single heap peek. Stale
+        // events (container re-occupied or already reclaimed since) just
+        // trigger a scan that removes nothing.
         let keep_alive = self.config.keep_alive;
-        self.containers.retain(|c| !c.expired_at(now, keep_alive));
+        self.expiry_events
+            .pop_due_into(now, &mut self.expiry_scratch);
+        if !self.expiry_scratch.is_empty() {
+            self.containers.retain(|c| !c.expired_at(now, keep_alive));
+        }
 
         // Chaos: a reclamation storm seizes every idle container at once,
         // as if the platform clawed back keep-alive capacity under pressure.
@@ -260,6 +298,8 @@ impl Platform {
         let mut inv_rng = SimRng::seed_from(inv.seed);
         let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
         container.occupy(inv.at, outcome.exec_time);
+        let busy_until = container.busy_until();
+        self.note_occupied(busy_until);
         let base = self.config.container_base_mem_kb;
         Ok(InvocationRecord {
             at: inv.at,
@@ -300,7 +340,13 @@ impl Platform {
         let time_scale = self.sample_time_scale();
         let id = self.next_container_id;
         self.next_container_id += 1;
-        let mut container = Container::new(id, Arc::clone(&self.app), time_scale, inv.at);
+        let mut container = Container::with_plan(
+            id,
+            Arc::clone(&self.app),
+            Arc::clone(&self.plan),
+            time_scale,
+            inv.at,
+        );
         if let Some(factory) = &self.config.observer_factory {
             // Chaos: a sampler dropout window — the profiler attachment
             // fails for this container's whole lifetime (zero samples).
@@ -324,6 +370,7 @@ impl Platform {
         let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
         let e2e = wait + init + outcome.exec_time;
         container.occupy(inv.at + wait, init + outcome.exec_time);
+        self.note_occupied(container.busy_until());
         let base = self.config.container_base_mem_kb;
         let record = InvocationRecord {
             at: inv.at,
@@ -367,6 +414,8 @@ impl Platform {
         let mut inv_rng = SimRng::seed_from(inv.seed);
         let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
         container.occupy(free_at, outcome.exec_time);
+        let busy_until = container.busy_until();
+        self.note_occupied(busy_until);
         let base = self.config.container_base_mem_kb;
         Ok(InvocationRecord {
             at: inv.at,

@@ -42,11 +42,13 @@
 //! ```
 
 pub mod fault;
+pub mod loader;
 pub mod observer;
 pub mod process;
 pub mod stack;
 
 pub use fault::RuntimeFault;
+pub use loader::{LoaderPlan, ModuleSet};
 pub use observer::{AdvanceContext, ExecutionObserver, NullObserver};
 pub use process::{InvocationOutcome, LoadEvent, Process};
 pub use stack::{CallStack, Frame, FrameKind};

@@ -6,7 +6,6 @@
 //! and reports every time advance to an attached
 //! [`ExecutionObserver`].
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use slimstart_appmodel::function::{Stmt, StmtKind};
@@ -15,6 +14,7 @@ use slimstart_simcore::rng::SimRng;
 use slimstart_simcore::time::{SimDuration, SimTime};
 
 use crate::fault::RuntimeFault;
+use crate::loader::LoaderPlan;
 use crate::observer::{AdvanceContext, ExecutionObserver};
 use crate::stack::{CallStack, FrameKind};
 
@@ -52,11 +52,14 @@ pub struct InvocationOutcome {
 /// A language runtime instance executing one application.
 pub struct Process {
     app: Arc<Application>,
+    plan: Arc<LoaderPlan>,
     time_scale: f64,
     clock: SimTime,
     stack: CallStack,
-    loaded: Vec<bool>,
-    name_index: HashMap<String, ModuleId>,
+    /// Loaded-module bitset (one bit per module id), so the loader's
+    /// closure fast path is a handful of word operations.
+    loaded: Vec<u64>,
+    loaded_count: usize,
     load_events: Vec<LoadEvent>,
     mem_kb: u64,
     peak_mem_kb: u64,
@@ -69,7 +72,7 @@ impl std::fmt::Debug for Process {
         f.debug_struct("Process")
             .field("app", &self.app.name())
             .field("clock", &self.clock)
-            .field("loaded", &self.loaded.iter().filter(|l| **l).count())
+            .field("loaded", &self.loaded_count)
             .field("mem_kb", &self.mem_kb)
             .field("observed", &self.observer.is_some())
             .finish()
@@ -77,7 +80,10 @@ impl std::fmt::Debug for Process {
 }
 
 impl Process {
-    /// Creates a fresh process for `app`.
+    /// Creates a fresh process for `app`, building a private
+    /// [`LoaderPlan`]. Callers that spin up many processes for the same
+    /// application (the platform's container pool) should build the plan
+    /// once and use [`Process::with_plan`] instead.
     ///
     /// `time_scale` multiplies every paid duration, modeling run-to-run
     /// performance jitter of real containers (1.0 = nominal).
@@ -86,30 +92,43 @@ impl Process {
     ///
     /// Panics if `time_scale` is not finite and positive.
     pub fn new(app: Arc<Application>, time_scale: f64) -> Self {
+        let plan = Arc::new(LoaderPlan::build(&app));
+        Process::with_plan(app, plan, time_scale)
+    }
+
+    /// Creates a fresh process sharing a prebuilt loader plan.
+    ///
+    /// The plan must have been built from this exact application state
+    /// (same modules, same `stripped` flags).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not finite and positive.
+    pub fn with_plan(app: Arc<Application>, plan: Arc<LoaderPlan>, time_scale: f64) -> Self {
         assert!(
             time_scale.is_finite() && time_scale > 0.0,
             "time_scale must be finite and positive"
         );
-        let name_index = app
-            .modules()
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (m.name().to_string(), ModuleId::from_index(i)))
-            .collect();
-        let loaded = vec![false; app.modules().len()];
+        let loaded = vec![0u64; app.modules().len().div_ceil(64)];
         Process {
             app,
+            plan,
             time_scale,
             clock: SimTime::ZERO,
             stack: CallStack::new(),
             loaded,
-            name_index,
+            loaded_count: 0,
             load_events: Vec::new(),
             mem_kb: 0,
             peak_mem_kb: 0,
             observer: None,
             in_cold_start: false,
         }
+    }
+
+    /// The loader plan this process shares.
+    pub fn plan(&self) -> &Arc<LoaderPlan> {
+        &self.plan
     }
 
     /// Attaches a profiler/observer. Replaces any existing attachment.
@@ -148,8 +167,15 @@ impl Process {
     }
 
     /// Whether `module` has been loaded.
+    #[inline]
     pub fn is_loaded(&self, module: ModuleId) -> bool {
-        self.loaded[module.index()]
+        self.loaded[module.index() / 64] & (1u64 << (module.index() % 64)) != 0
+    }
+
+    #[inline]
+    fn mark_loaded(&mut self, module: ModuleId) {
+        self.loaded[module.index() / 64] |= 1u64 << (module.index() % 64);
+        self.loaded_count += 1;
     }
 
     /// All loads performed so far, in order.
@@ -213,7 +239,7 @@ impl Process {
         // The handler's own module may itself be deferred-loaded if the
         // platform skipped cold_start (tests use this).
         let handler_module = app.function(function).module();
-        if !self.loaded[handler_module.index()] {
+        if !self.is_loaded(handler_module) {
             let t0 = self.clock;
             if app.module(handler_module).stripped() {
                 return Err(RuntimeFault::StrippedHandlerModule {
@@ -266,41 +292,50 @@ impl Process {
     }
 
     /// Loads `module` the Python way: ancestors first, then the module.
+    ///
+    /// Fast path: when the plan's memoized transitive closure shows that
+    /// everything `module` needs is already loaded, the recursive walk
+    /// collapses to a single shallow load of `module` itself. The walk and
+    /// the shallow load are observably identical in that case — the import
+    /// loop would only touch line numbers between advances, which no
+    /// sampler can see — so load events, timestamps and stack shapes are
+    /// byte-for-byte unchanged.
     fn load_with_parents(&mut self, app: &Arc<Application>, module: ModuleId) {
-        let name = app.module(module).name().to_string();
-        let mut prefix_end = 0usize;
-        let bytes = name.as_bytes();
-        for i in 0..=bytes.len() {
-            if i == bytes.len() || bytes[i] == b'.' {
-                prefix_end = i;
-                let prefix = &name[..prefix_end];
-                if let Some(&id) = self.name_index.get(prefix) {
-                    if !self.loaded[id.index()] && !app.module(id).stripped() {
-                        self.load_single(app, id);
-                    }
-                }
+        let plan = Arc::clone(&self.plan);
+        if plan
+            .closure(app, module)
+            .only_missing_is(&self.loaded, module)
+        {
+            self.load_single(app, module, true);
+            return;
+        }
+        for &id in plan.ancestors(module) {
+            if !self.is_loaded(id) && !app.module(id).stripped() {
+                self.load_single(app, id, false);
             }
         }
-        let _ = prefix_end;
     }
 
-    /// Loads exactly one module: runs its global imports, then its top level.
-    fn load_single(&mut self, app: &Arc<Application>, module: ModuleId) {
-        debug_assert!(!self.loaded[module.index()], "double load of {module}");
+    /// Loads exactly one module: runs its global imports (unless `shallow`
+    /// proved them all loaded), then its top level.
+    fn load_single(&mut self, app: &Arc<Application>, module: ModuleId, shallow: bool) {
+        debug_assert!(!self.is_loaded(module), "double load of {module}");
         // Mark first (Python registers in sys.modules before executing).
-        self.loaded[module.index()] = true;
+        self.mark_loaded(module);
         self.stack.push(FrameKind::ModuleInit(module), 1);
 
-        for decl in app.imports_of(module) {
-            if !decl.mode.is_global() {
-                continue;
-            }
-            if app.module(decl.target).stripped() {
-                continue; // the static optimizer removed this import
-            }
-            self.stack.set_line(decl.line);
-            if !self.loaded[decl.target.index()] {
-                self.load_with_parents(app, decl.target);
+        if !shallow {
+            for decl in app.imports_of(module) {
+                if !decl.mode.is_global() {
+                    continue;
+                }
+                if app.module(decl.target).stripped() {
+                    continue; // the static optimizer removed this import
+                }
+                self.stack.set_line(decl.line);
+                if !self.is_loaded(decl.target) {
+                    self.load_with_parents(app, decl.target);
+                }
             }
         }
 
@@ -353,7 +388,7 @@ impl Process {
                 StmtKind::Work(d) => self.advance(*d),
                 StmtKind::Call(site) => {
                     let callee_module = app.function(site.target).module();
-                    if !self.loaded[callee_module.index()] {
+                    if !self.is_loaded(callee_module) {
                         if app.module(callee_module).stripped() {
                             return Err(RuntimeFault::StrippedModuleCall {
                                 module: callee_module,
@@ -368,7 +403,7 @@ impl Process {
                     self.exec_function(app, site.target, rng, depth + 1, deferred)?;
                 }
                 StmtKind::Touch(module) => {
-                    if !self.loaded[module.index()] {
+                    if !self.is_loaded(*module) {
                         if app.module(*module).stripped() {
                             return Err(RuntimeFault::StrippedModuleTouch { module: *module });
                         }
@@ -663,6 +698,69 @@ mod tests {
         assert!(p.has_observer());
         assert!(p.detach_observer().is_some());
         assert!(!p.has_observer());
+    }
+
+    #[test]
+    fn shallow_fast_path_is_equivalent_to_walk() {
+        // lib.cold is deferred and all of its dependencies load eagerly, so
+        // its first use hits the closure fast path (everything but lib.cold
+        // itself already loaded) — outcomes must match the full-walk
+        // semantics exactly.
+        let mut b = AppBuilder::new("t3");
+        let lib = b.add_library("lib");
+        let h = b.add_app_module("handler", ms(1), 0);
+        let root = b.add_library_module("lib", ms(2), 0, false, lib);
+        let hot = b.add_library_module("lib.hot", ms(4), 0, false, lib);
+        let cold = b.add_library_module("lib.cold", ms(8), 0, false, lib);
+        b.add_import(h, root, 2, ImportMode::Global).unwrap();
+        b.add_import(root, hot, 2, ImportMode::Global).unwrap();
+        b.add_import(root, cold, 3, ImportMode::Deferred).unwrap();
+        b.add_import(cold, hot, 2, ImportMode::Global).unwrap();
+        let f_cold = b.add_function(
+            "rare",
+            cold,
+            5,
+            vec![Stmt {
+                line: 6,
+                kind: StmtKind::Work(ms(1)),
+            }],
+        );
+        let f_main = b.add_function(
+            "main",
+            h,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::call(f_cold),
+            }],
+        );
+        let handler = b.add_handler("main", f_main);
+        let app = Arc::new(b.finish().unwrap());
+        let hm = app.module_by_name("handler").unwrap();
+
+        let plan = Arc::new(LoaderPlan::build(&app));
+        let mut p = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), 1.0);
+        let init = p.cold_start(hm).unwrap();
+        assert_eq!(init, ms(7));
+        let out = p.invoke(handler, &mut SimRng::seed_from(1)).unwrap();
+        assert_eq!(out.deferred_load_time, ms(8));
+        assert_eq!(out.exec_time, ms(9));
+        let names: Vec<&str> = p
+            .load_events()
+            .iter()
+            .map(|e| app.module(e.module).name())
+            .collect();
+        assert_eq!(names, vec!["lib.hot", "lib", "handler", "lib.cold"]);
+
+        // A fresh process sharing the (now-memoized) plan is identical to
+        // one that builds its own.
+        let mut shared = Process::with_plan(Arc::clone(&app), plan, 1.0);
+        let mut private = Process::new(Arc::clone(&app), 1.0);
+        assert_eq!(shared.cold_start(hm), private.cold_start(hm));
+        let a = shared.invoke(handler, &mut SimRng::seed_from(1)).unwrap();
+        let b = private.invoke(handler, &mut SimRng::seed_from(1)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(shared.load_events(), private.load_events());
     }
 
     #[test]

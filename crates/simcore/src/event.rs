@@ -100,15 +100,29 @@ impl<T> EventQueue<T> {
     }
 
     /// Drains all events due at or before `now`, earliest first.
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops should hold a scratch
+    /// buffer and use [`EventQueue::pop_due_into`] instead.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<(SimTime, T)> {
         let mut due = Vec::new();
+        self.pop_due_into(now, &mut due);
+        due
+    }
+
+    /// Drains all events due at or before `now` into `buf`, earliest first.
+    ///
+    /// `buf` is cleared first, so callers can reuse one scratch buffer across
+    /// calls and amortize the allocation to zero once it reaches its
+    /// high-water mark. In the common no-event case this is a single
+    /// heap-peek with no allocation at all.
+    pub fn pop_due_into(&mut self, now: SimTime, buf: &mut Vec<(SimTime, T)>) {
+        buf.clear();
         while let Some(t) = self.peek_time() {
             if t > now {
                 break;
             }
-            due.push(self.pop().expect("peeked event exists"));
+            buf.push(self.pop().expect("peeked event exists"));
         }
-        due
     }
 }
 
@@ -164,6 +178,24 @@ mod tests {
             vec![1, 2, 3]
         );
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_due_into_reuses_buffer() {
+        let mut q = EventQueue::new();
+        for ms in [1u64, 2, 3] {
+            q.schedule(SimTime::from_millis(ms), ms);
+        }
+        let mut buf = Vec::with_capacity(8);
+        q.pop_due_into(SimTime::from_millis(2), &mut buf);
+        assert_eq!(buf.iter().map(|(_, p)| *p).collect::<Vec<_>>(), vec![1, 2]);
+        let cap = buf.capacity();
+        // Stale contents are cleared, capacity is retained.
+        q.pop_due_into(SimTime::from_millis(1), &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        q.pop_due_into(SimTime::from_millis(3), &mut buf);
+        assert_eq!(buf.iter().map(|(_, p)| *p).collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]

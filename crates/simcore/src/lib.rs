@@ -15,6 +15,8 @@
 //! * [`stats`] — online summaries, exact percentiles and histograms used by
 //!   the metric collectors.
 //! * [`event`] — a generic discrete-event queue keyed by virtual time.
+//! * [`intern`] — an insertion-ordered string interner issuing dense
+//!   [`Symbol`] handles for hot-path name lookups.
 //!
 //! # Example
 //!
@@ -32,12 +34,14 @@
 
 pub mod dist;
 pub mod event;
+pub mod intern;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Empirical, Exponential, LogNormal, Pareto, Zipf};
 pub use event::EventQueue;
+pub use intern::{Interner, Symbol};
 pub use rng::SimRng;
 pub use stats::{Histogram, Percentiles, Summary};
 pub use time::{SimDuration, SimTime};

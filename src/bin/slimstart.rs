@@ -24,6 +24,11 @@
 //!                                           (default: $SLIMSTART_FAULT_RATE
 //!                                           or 0.1)
 //!     --apps/--threads/--runs/--seed/--cold-starts/--json as for `fleet`
+//! slimstart bench [options]                 hot-path micro-benchmarks
+//!     --smoke                               tiny iteration counts (CI)
+//!     --seed <S>                            bench seed (default 2025)
+//!     --threads <T>                         fleet stage threads
+//!     --out <PATH>                          also write the JSON report here
 //! slimstart help                            this text
 //! ```
 //!
@@ -70,6 +75,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args[1..]),
         "fleet" => cmd_fleet(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -98,6 +104,7 @@ USAGE:
     slimstart trace [--seed S]
     slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
     slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
+    slimstart bench [--smoke] [--seed S] [--threads T] [--out PATH]
     slimstart help
 
 Run `cargo bench -p slimstart-bench` to regenerate every paper table/figure."
@@ -113,6 +120,18 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, String> {
             .parse()
             .map(Some)
             .map_err(|_| format!("{flag} needs an integer value")),
+    }
+}
+
+fn flag_value_str(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
     }
 }
 
@@ -355,6 +374,34 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     }
     let config = parse_fleet_config(args)?.with_chaos(ChaosConfig::uniform(rate));
     run_fleet(config, json)
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = flag_value(args, "--seed")?.unwrap_or(2025);
+    let threads = match flag_value(args, "--threads")? {
+        Some(t) => (t as usize).max(1),
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    };
+    let config = slimstart::bench::BenchConfig {
+        smoke,
+        seed,
+        threads,
+    };
+    let report = slimstart::bench::hotpath::run(&config);
+    print!("{}", report.render_text());
+    let json = report.to_json();
+    // The harness validates its own output so a writer regression fails
+    // `slimstart bench --smoke` in CI rather than corrupting BENCH_*.json.
+    slimstart::bench::validate_json(&json)
+        .map_err(|e| format!("bench report JSON is malformed: {e}"))?;
+    if let Some(path) = flag_value_str(args, "--out")? {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {

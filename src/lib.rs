@@ -20,7 +20,9 @@
 //! * [`analyzer`] — the static-analysis pass framework (deferral-safety
 //!   verifier, import lints, over-approximation auditor);
 //! * [`fleet`] — the parallel fleet orchestrator (deterministic fan-out of
-//!   N applications across a worker pool, aggregated [`FleetReport`]).
+//!   N applications across a worker pool, aggregated [`FleetReport`]);
+//! * [`bench`] — the experiment harness (paper tables/figures and the
+//!   `slimstart bench` hot-path micro-benchmarks).
 //!
 //! The CI/CD pipeline itself is a composition of [`Stage`]s over a shared
 //! [`PipelineCtx`](slimstart_core::stage::PipelineCtx); see [`stages`] for
@@ -48,6 +50,7 @@
 
 pub use slimstart_analyzer as analyzer;
 pub use slimstart_appmodel as appmodel;
+pub use slimstart_bench as bench;
 pub use slimstart_core as core;
 pub use slimstart_faaslight as faaslight;
 pub use slimstart_fleet as fleet;

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `fxhash` crate.
+//!
+//! Implements the rustc "FxHash" multiply-rotate hash: a seedless,
+//! deterministic, non-cryptographic hasher. The same bytes hash to the
+//! same value on every run, on every thread, on every platform with the
+//! same pointer width — which is exactly what slimstart's determinism
+//! contract needs from its hot-path hash maps (the std `RandomState`
+//! hasher is per-process randomized and an order of magnitude slower for
+//! the small fixed-width keys the CCT and interner use).
+//!
+//! Only the surface the workspace uses is provided: [`FxHasher`],
+//! [`FxBuildHasher`], the [`FxHashMap`]/[`FxHashSet`] aliases, and the
+//! [`hash64`] convenience function.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplicative constant from the rustc implementation (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// Builds [`FxHasher`]s; zero-sized and `Default`, so maps need no seed.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The rustc FxHash state: one word, mixed by rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.add_to_hash(n as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.add_to_hash(n as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add_to_hash(n as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.add_to_hash(n as usize as u64);
+    }
+}
+
+/// Hashes `value` with a fresh [`FxHasher`] — a deterministic one-shot hash.
+#[inline]
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        assert_eq!(hash64("slimstart"), hash64("slimstart"));
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash64("a"), hash64("b"));
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        // BuildHasherDefault carries no per-instance state, so two maps
+        // agree on bucket placement — the property the interner relies on.
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        "module.name".hash(&mut a);
+        "module.name".hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn unaligned_tail_contributes() {
+        assert_ne!(hash64("12345678"), hash64("123456789"));
+        assert_ne!(hash64("123456789"), hash64("12345678A"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("x", 1);
+        assert_eq!(m.get("x"), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

@@ -1,0 +1,206 @@
+//! Differential testing: the arena [`Cct`] must be observably equal to the
+//! retained pre-arena [`ReferenceCct`] on every seeded sample stream —
+//! same shape, same per-context attribution, same escalation totals, same
+//! merge results. The arena changes the data layout and the merge
+//! algorithm (O(paths) `insert_weighted` vs one re-insert per sample), so
+//! this is the oracle that says "faster, not different".
+
+use std::collections::HashMap;
+
+use slimstart::appmodel::{FunctionId, ModuleId};
+use slimstart::core::cct::reference::ReferenceCct;
+use slimstart::core::cct::{Cct, CctKey};
+use slimstart::pyrt::stack::{Frame, FrameKind};
+use slimstart::simcore::SimRng;
+
+fn synth_paths(n: usize, seed: u64) -> Vec<(Vec<Frame>, bool)> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            let depth = 1 + rng.next_below(8);
+            let path: Vec<Frame> = (0..depth)
+                .map(|d| {
+                    if d == 0 && rng.chance(0.25) {
+                        Frame {
+                            kind: FrameKind::ModuleInit(ModuleId::from_index(rng.next_below(12))),
+                            line: 1 + rng.next_below(40) as u32,
+                        }
+                    } else {
+                        Frame {
+                            kind: FrameKind::Call(FunctionId::from_index(rng.next_below(24))),
+                            line: 1 + rng.next_below(40) as u32,
+                        }
+                    }
+                })
+                .collect();
+            (path, rng.chance(0.3))
+        })
+        .collect()
+}
+
+/// Canonical view of a tree: full root-to-node key path → (self samples,
+/// self init samples), for populated and interior nodes alike.
+type Attribution = HashMap<Vec<CctKey>, (u64, u64)>;
+
+fn arena_attribution(cct: &Cct) -> Attribution {
+    (1..cct.len())
+        .map(|i| {
+            let path: Vec<CctKey> = cct.path_to(i).iter().map(|n| n.key).collect();
+            let node = cct.node(i);
+            (path, (node.self_samples, node.self_init_samples))
+        })
+        .collect()
+}
+
+fn reference_attribution(cct: &ReferenceCct) -> Attribution {
+    (1..cct.nodes().len())
+        .map(|i| {
+            let path: Vec<CctKey> = cct
+                .path_of(i)
+                .iter()
+                .map(|f| CctKey {
+                    kind: f.kind,
+                    line: f.line,
+                })
+                .collect();
+            let node = &cct.nodes()[i];
+            (path, (node.self_samples, node.self_init_samples))
+        })
+        .collect()
+}
+
+fn build_both(paths: &[(Vec<Frame>, bool)]) -> (Cct, ReferenceCct) {
+    let mut arena = Cct::new();
+    let mut reference = ReferenceCct::new();
+    for (path, is_init) in paths {
+        arena.insert(path, *is_init);
+        reference.insert(path, *is_init);
+    }
+    (arena, reference)
+}
+
+/// Inclusive counts keyed by canonical path, so the comparison is
+/// index-free.
+fn inclusive_by_path(inclusive: &[u64], paths: &[Vec<CctKey>]) -> HashMap<Vec<CctKey>, u64> {
+    paths
+        .iter()
+        .cloned()
+        .zip(inclusive.iter().skip(1).copied())
+        .collect()
+}
+
+#[test]
+fn seeded_streams_build_identical_trees() {
+    for seed in [1u64, 7, 42, 2025, 0xdead] {
+        let paths = synth_paths(2_000, seed);
+        let (arena, reference) = build_both(&paths);
+
+        assert_eq!(
+            arena.len(),
+            reference.nodes().len(),
+            "seed {seed}: node count"
+        );
+        assert_eq!(
+            arena.total_samples(),
+            reference.total_samples(),
+            "seed {seed}: total samples"
+        );
+        assert_eq!(
+            arena_attribution(&arena),
+            reference_attribution(&reference),
+            "seed {seed}: per-context attribution"
+        );
+    }
+}
+
+#[test]
+fn escalation_totals_agree() {
+    let paths = synth_paths(3_000, 99);
+    let (arena, reference) = build_both(&paths);
+
+    let arena_paths: Vec<Vec<CctKey>> = (1..arena.len())
+        .map(|i| arena.path_to(i).iter().map(|n| n.key).collect())
+        .collect();
+    let ref_paths: Vec<Vec<CctKey>> = (1..reference.nodes().len())
+        .map(|i| {
+            reference
+                .path_of(i)
+                .iter()
+                .map(|f| CctKey {
+                    kind: f.kind,
+                    line: f.line,
+                })
+                .collect()
+        })
+        .collect();
+
+    let arena_inclusive = inclusive_by_path(&arena.inclusive(), &arena_paths);
+    let ref_inclusive = inclusive_by_path(&reference.inclusive(), &ref_paths);
+    assert_eq!(arena_inclusive, ref_inclusive);
+
+    // The roots see every sample either way.
+    assert_eq!(arena.inclusive()[0], reference.inclusive()[0]);
+}
+
+#[test]
+fn merge_is_equivalent_across_implementations() {
+    for (seed_a, seed_b) in [(1u64, 2u64), (2025, 31), (7, 7)] {
+        let left = synth_paths(1_500, seed_a);
+        let right = synth_paths(1_500, seed_b);
+        let (mut arena, mut reference) = build_both(&left);
+        let (arena_other, reference_other) = build_both(&right);
+
+        arena.merge(&arena_other);
+        reference.merge(&reference_other);
+
+        assert_eq!(
+            arena.total_samples(),
+            reference.total_samples(),
+            "seeds {seed_a}/{seed_b}: merged totals"
+        );
+        assert_eq!(
+            arena_attribution(&arena),
+            reference_attribution(&reference),
+            "seeds {seed_a}/{seed_b}: merged attribution"
+        );
+    }
+}
+
+#[test]
+fn children_iteration_matches_reference_order() {
+    // Both implementations create child nodes in first-encounter order; the
+    // arena must reproduce that order through its sibling chain.
+    let paths = synth_paths(800, 1234);
+    let (arena, reference) = build_both(&paths);
+    for i in 0..arena.len() {
+        let arena_children: Vec<CctKey> = arena.children(i).map(|c| arena.node(c).key).collect();
+        let ref_children: Vec<CctKey> = reference.nodes()[i]
+            .children
+            .iter()
+            .map(|&c| reference.nodes()[c].key)
+            .collect();
+        assert_eq!(arena_children, ref_children, "node {i} child order");
+    }
+}
+
+#[test]
+fn weighted_insert_collapses_repeated_samples() {
+    // insert_weighted(path, n, k) must equal n repeated inserts with k of
+    // them flagged init — the identity the O(paths) merge relies on.
+    let paths = synth_paths(60, 5);
+    let mut weighted = Cct::new();
+    let mut repeated = ReferenceCct::new();
+    for (path, _) in &paths {
+        weighted.insert_weighted(path, 5, 2);
+        for _ in 0..3 {
+            repeated.insert(path, false);
+        }
+        for _ in 0..2 {
+            repeated.insert(path, true);
+        }
+    }
+    assert_eq!(
+        arena_attribution(&weighted),
+        reference_attribution(&repeated)
+    );
+}

@@ -139,7 +139,8 @@ fn batch_encoding_scales_with_content() {
                     slimstart::appmodel::FunctionId::from_index(1),
                 ),
                 line: 3,
-            }],
+            }]
+            .into(),
             is_init: false,
         }],
         init_micros: Default::default(),

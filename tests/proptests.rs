@@ -173,7 +173,8 @@ fn utilization_is_bounded() {
                     path: vec![Frame {
                         kind: FrameKind::Call(if in_lib { f_lib } else { f_main }),
                         line: 1,
-                    }],
+                    }]
+                    .into(),
                     is_init: rng.chance(0.3),
                 }
             })
