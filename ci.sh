@@ -20,9 +20,11 @@ cargo test -q --test chaos_sweep --test golden_reports
 
 # The hot-path bench harness must run end to end and emit well-formed JSON
 # (the binary validates its own report before writing); --smoke keeps the
-# iteration counts CI-sized.
-echo "==> slimstart bench --smoke"
-cargo run --release --quiet --bin slimstart -- bench --smoke --out target/bench-smoke.json
+# iteration counts CI-sized. --check is the perf-regression gate: the run
+# fails if any current path is more than 3x slower than its own in-run
+# reference baseline, so the gate is immune to machine-speed differences.
+echo "==> slimstart bench --smoke --check"
+cargo run --release --quiet --bin slimstart -- bench --smoke --out target/bench-smoke.json --check
 
 # Disabled tests rot: nothing under tests/ may be #[ignore]d.
 echo "==> checking for #[ignore] in tests/"
@@ -34,7 +36,7 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI OK"

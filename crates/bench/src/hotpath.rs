@@ -17,8 +17,17 @@
 //!   [`LoaderPlan`](slimstart_pyrt::loader::LoaderPlan) per process
 //!   ([`Process::new`]) vs sharing one prebuilt plan across processes
 //!   ([`Process::with_plan`]), as the platform does per deployment.
-//! * **fleet** — end-to-end throughput: a small fleet run reporting
-//!   applications optimized per wall-clock second.
+//! * **snapshot_cold_start** — repeated same-deployment cold starts: the
+//!   loader-plan replay vs restoring a memoized
+//!   [`Snapshot`](slimstart_pyrt::snapshot::Snapshot), as the platform does
+//!   for the second and later cold starts of a deployment.
+//! * **event_queue** — a platform-shaped schedule/drain workload on the
+//!   retained [`ReferenceEventQueue`](slimstart_simcore::event::reference::ReferenceEventQueue)
+//!   binary heap vs the hierarchical timing-wheel
+//!   [`EventQueue`](slimstart_simcore::event::EventQueue).
+//! * **fleet** — end-to-end throughput: a small fleet run swept over
+//!   `{1, max}` worker threads, reporting applications optimized per
+//!   wall-clock second and the parallel scaling ratio.
 //!
 //! The numbers land in a hand-rolled JSON document (same writer idiom as the
 //! fleet report) that `ci.sh` round-trips through [`validate_json`] in
@@ -39,7 +48,10 @@ use slimstart_fleet::{FleetConfig, FleetOrchestrator};
 use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::process::Process;
 use slimstart_pyrt::stack::{CallStack, Frame, FrameKind};
+use slimstart_simcore::event::reference::ReferenceEventQueue;
+use slimstart_simcore::event::EventQueue;
 use slimstart_simcore::rng::SimRng;
+use slimstart_simcore::time::SimTime;
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -88,6 +100,15 @@ impl Comparison {
     }
 }
 
+/// One point of the fleet thread sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Applications optimized per wall-clock second.
+    pub apps_per_second: f64,
+}
+
 /// The harness result.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -101,12 +122,16 @@ pub struct BenchReport {
     pub cct_merge: Comparison,
     /// Process cold start (per-process plan vs shared plan).
     pub cold_start: Comparison,
-    /// Fleet apps optimized per wall-clock second.
-    pub fleet_apps_per_second: f64,
-    /// Fleet size used for the throughput figure.
+    /// Repeated same-deployment cold start (loader replay vs snapshot
+    /// restore).
+    pub snapshot_cold_start: Comparison,
+    /// Event-queue schedule/drain workload (reference heap vs timing
+    /// wheel).
+    pub event_queue: Comparison,
+    /// Fleet size used for the throughput sweep.
     pub fleet_apps: usize,
-    /// Fleet worker threads used.
-    pub fleet_threads: usize,
+    /// Fleet throughput at each swept thread count (ascending; `{1, max}`).
+    pub fleet_sweep: Vec<FleetPoint>,
 }
 
 /// Times `op` over `iters` iterations (after one warm-up call) and returns
@@ -242,39 +267,169 @@ fn bench_cold_start(iters: u64, seed: u64) -> Comparison {
     }
 }
 
-fn bench_fleet(config: &BenchConfig) -> (f64, usize, usize) {
+fn bench_snapshot_cold_start(iters: u64, seed: u64) -> Comparison {
+    let built = by_code("R-GB")
+        .expect("catalog entry R-GB exists")
+        .build(seed)
+        .expect("catalog app builds");
+    let app: Arc<Application> = Arc::new(built.app);
+    let root = built.app_module;
+    let plan = Arc::new(LoaderPlan::build(&app));
+
+    // Legacy: every recurrent cold start of the deployment re-walks the
+    // (shared) loader plan.
+    let legacy_app = Arc::clone(&app);
+    let legacy_plan = Arc::clone(&plan);
+    let legacy_ns = time_ns(iters, move || {
+        let mut proc = Process::with_plan(Arc::clone(&legacy_app), Arc::clone(&legacy_plan), 1.0);
+        proc.cold_start(root).expect("cold start succeeds")
+    });
+
+    // Current: the platform memoizes the first replay and every later cold
+    // start restores the snapshot.
+    let snapshot = {
+        let mut proc = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), 1.0);
+        proc.cold_start(root).expect("cold start succeeds");
+        proc.capture_snapshot()
+    };
+    let current_ns = time_ns(iters, move || {
+        let mut proc = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), 1.0);
+        proc.restore_snapshot(&snapshot)
+    });
+    Comparison {
+        legacy_ns,
+        current_ns,
+        iters,
+    }
+}
+
+/// A platform-shaped event trace: per step, an offset to schedule at
+/// (mostly sub-second re-occupancies, a keep-alive tail minutes out) and a
+/// virtual-time advance before draining what came due. Advances are bursty
+/// — mostly sub-2 ms dispatch gaps with occasional idle stretches up to
+/// 2 s — matching how the platform's reclamation queue sees time move.
+fn event_workload(seed: u64, steps: usize) -> Vec<(u64, u64)> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..steps)
+        .map(|_| {
+            let offset = match rng.next_below(20) {
+                0..=13 => 1_000 + rng.next_below(999_000) as u64, // 1 ms – 1 s
+                14..=18 => rng.next_below(60_000_000) as u64,     // up to 1 min
+                _ => 600_000_000 + rng.next_below(600_000_000) as u64, // keep-alive tail
+            };
+            let advance = if rng.next_below(10) == 0 {
+                rng.next_below(2_000_000) as u64 // idle gap, up to 2 s
+            } else {
+                rng.next_below(2_000) as u64 // busy dispatching
+            };
+            (offset, advance)
+        })
+        .collect()
+}
+
+fn bench_event_queue(iters: u64, seed: u64) -> Comparison {
+    let trace = event_workload(seed, 16_384);
+
+    // One op = pushing the whole trace through a fresh queue — schedule,
+    // advance, drain-due — then draining the backlog, exactly the mix the
+    // platform's expiry queue and the workload merger generate.
+    let legacy_trace = trace.clone();
+    let legacy_ns = time_ns(iters, move || {
+        let mut q = ReferenceEventQueue::new();
+        let mut buf: Vec<(SimTime, u64)> = Vec::new();
+        let mut now = 0u64;
+        let mut acc = 0u64;
+        for &(offset, advance) in &legacy_trace {
+            q.schedule(SimTime::from_micros(now + offset), offset);
+            now += advance;
+            q.pop_due_into(SimTime::from_micros(now), &mut buf);
+            acc += buf.len() as u64;
+        }
+        q.pop_due_into(SimTime::MAX, &mut buf);
+        for (t, _) in &buf {
+            acc ^= t.as_micros();
+        }
+        acc
+    });
+
+    let current_ns = time_ns(iters, move || {
+        let mut q = EventQueue::new();
+        let mut buf: Vec<(SimTime, u64)> = Vec::new();
+        let mut now = 0u64;
+        let mut acc = 0u64;
+        for &(offset, advance) in &trace {
+            q.schedule(SimTime::from_micros(now + offset), offset);
+            now += advance;
+            q.pop_due_into(SimTime::from_micros(now), &mut buf);
+            acc += buf.len() as u64;
+        }
+        q.pop_due_into(SimTime::MAX, &mut buf);
+        for (t, _) in &buf {
+            acc ^= t.as_micros();
+        }
+        acc
+    });
+
+    Comparison {
+        legacy_ns,
+        current_ns,
+        iters,
+    }
+}
+
+fn bench_fleet_at(config: &BenchConfig, threads: usize) -> FleetPoint {
     let (apps, cold_starts) = if config.smoke { (2, 10) } else { (8, 120) };
     let fleet = FleetConfig::default()
         .with_apps(apps)
-        .with_threads(config.threads)
+        .with_threads(threads)
         .with_seed(config.seed)
         .with_cold_starts(cold_starts);
     let (_, stats) = FleetOrchestrator::new(fleet)
         .run()
         .expect("fleet run succeeds");
-    (stats.apps_per_second, apps, stats.threads)
+    FleetPoint {
+        threads: stats.threads,
+        apps_per_second: stats.apps_per_second,
+    }
+}
+
+/// Sweeps the fleet over `{1, max}` worker threads (deduplicated when the
+/// host has a single core), so the report always exposes the scaling
+/// ratio rather than a single-thread blind spot.
+fn bench_fleet_sweep(config: &BenchConfig) -> (usize, Vec<FleetPoint>) {
+    let apps = if config.smoke { 2 } else { 8 };
+    let max = config.threads.max(1);
+    let mut sweep = vec![bench_fleet_at(config, 1)];
+    if max > 1 {
+        sweep.push(bench_fleet_at(config, max));
+    }
+    (apps, sweep)
 }
 
 /// Runs every measurement and assembles the report.
 pub fn run(config: &BenchConfig) -> BenchReport {
-    let (sampler_iters, merge_samples, merge_iters, cold_iters) = if config.smoke {
-        (10_000, 1_000, 3, 3)
-    } else {
-        (400_000, 20_000, 40, 120)
-    };
+    let (sampler_iters, merge_samples, merge_iters, cold_iters, snap_iters, event_iters) =
+        if config.smoke {
+            (10_000, 1_000, 3, 3, 20, 3)
+        } else {
+            (400_000, 20_000, 40, 120, 5_000, 200)
+        };
     let sampler = bench_sampler(sampler_iters);
     let cct_merge = bench_cct_merge(merge_samples, merge_iters, config.seed);
     let cold_start = bench_cold_start(cold_iters, config.seed);
-    let (fleet_apps_per_second, fleet_apps, fleet_threads) = bench_fleet(config);
+    let snapshot_cold_start = bench_snapshot_cold_start(snap_iters, config.seed);
+    let event_queue = bench_event_queue(event_iters, config.seed);
+    let (fleet_apps, fleet_sweep) = bench_fleet_sweep(config);
     BenchReport {
         smoke: config.smoke,
         seed: config.seed,
         sampler,
         cct_merge,
         cold_start,
-        fleet_apps_per_second,
+        snapshot_cold_start,
+        event_queue,
         fleet_apps,
-        fleet_threads,
+        fleet_sweep,
     }
 }
 
@@ -299,26 +454,95 @@ fn comparison_json(out: &mut String, key: &str, c: &Comparison) {
 }
 
 impl BenchReport {
+    /// The named legacy-vs-current comparisons, in report order.
+    pub fn comparisons(&self) -> [(&'static str, &Comparison); 5] {
+        [
+            ("sampler", &self.sampler),
+            ("cct_merge", &self.cct_merge),
+            ("cold_start", &self.cold_start),
+            ("snapshot_cold_start", &self.snapshot_cold_start),
+            ("event_queue", &self.event_queue),
+        ]
+    }
+
+    /// Parallel scaling ratio of the fleet sweep: throughput at the highest
+    /// swept thread count over throughput at one thread (1.0 on a
+    /// single-core sweep).
+    pub fn fleet_scaling(&self) -> f64 {
+        match (self.fleet_sweep.first(), self.fleet_sweep.last()) {
+            (Some(first), Some(last)) if first.apps_per_second > 0.0 => {
+                last.apps_per_second / first.apps_per_second
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The CI perf gate: every `current` implementation must stay within
+    /// `3x` of its own in-run legacy baseline. Racing both variants in the
+    /// same process makes the gate immune to machine speed — a failure
+    /// means the current path itself regressed, not that CI got a slow
+    /// runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming every comparison whose `current_ns` exceeds
+    /// `3 * legacy_ns`.
+    pub fn check_regressions(&self) -> Result<(), String> {
+        let offenders: Vec<String> = self
+            .comparisons()
+            .iter()
+            .filter(|(_, c)| c.current_ns > 3.0 * c.legacy_ns)
+            .map(|(name, c)| {
+                format!(
+                    "{name}: current {:.1} ns/op > 3x legacy {:.1} ns/op",
+                    c.current_ns, c.legacy_ns
+                )
+            })
+            .collect();
+        if offenders.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "perf regression gate failed: {}",
+                offenders.join("; ")
+            ))
+        }
+    }
+
     /// Serializes the report. Stable key order; no external serializer.
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(1536);
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v1\",");
+        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v2\",");
         let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
-        comparison_json(&mut out, "sampler", &self.sampler);
-        out.push_str(",\n");
-        comparison_json(&mut out, "cct_merge", &self.cct_merge);
-        out.push_str(",\n");
-        comparison_json(&mut out, "cold_start", &self.cold_start);
-        out.push_str(",\n");
+        for (key, c) in self.comparisons() {
+            comparison_json(&mut out, key, c);
+            out.push_str(",\n");
+        }
+        let _ = writeln!(
+            out,
+            "  \"fleet\": {{\n    \"apps\": {},\n    \"sweep\": [",
+            self.fleet_apps
+        );
+        for (i, point) in self.fleet_sweep.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"threads\": {}, \"apps_per_second\": {}}}{}",
+                point.threads,
+                num(point.apps_per_second),
+                if i + 1 < self.fleet_sweep.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
         let _ = write!(
             out,
-            "  \"fleet\": {{\n    \"apps\": {},\n    \"threads\": {},\n    \"apps_per_second\": {}\n  }}\n",
-            self.fleet_apps,
-            self.fleet_threads,
-            num(self.fleet_apps_per_second)
+            "    ],\n    \"scaling\": {}\n  }}\n",
+            num(self.fleet_scaling())
         );
         out.push_str("}\n");
         out
@@ -338,6 +562,8 @@ impl BenchReport {
             ("sampler capture", &self.sampler),
             ("cct merge", &self.cct_merge),
             ("cold start", &self.cold_start),
+            ("snapshot restore", &self.snapshot_cold_start),
+            ("event queue", &self.event_queue),
         ] {
             let _ = writeln!(
                 out,
@@ -347,10 +573,18 @@ impl BenchReport {
                 c.speedup()
             );
         }
+        for point in &self.fleet_sweep {
+            let _ = writeln!(
+                out,
+                "  {:<16} {} apps on {} thread(s): {:.2} apps/s",
+                "fleet", self.fleet_apps, point.threads, point.apps_per_second
+            );
+        }
         let _ = writeln!(
             out,
-            "  {:<16} {} apps on {} thread(s): {:.2} apps/s",
-            "fleet", self.fleet_apps, self.fleet_threads, self.fleet_apps_per_second
+            "  {:<16} {:.2}x across the thread sweep",
+            "fleet scaling",
+            self.fleet_scaling()
         );
         out
     }
@@ -510,7 +744,30 @@ mod tests {
         validate_json(&report.to_json()).expect("report JSON is well-formed");
         assert!(report.sampler.legacy_ns > 0.0);
         assert!(report.cct_merge.current_ns > 0.0);
-        assert!(report.fleet_apps_per_second > 0.0);
+        assert!(report.snapshot_cold_start.current_ns > 0.0);
+        assert!(report.event_queue.current_ns > 0.0);
+        assert!(!report.fleet_sweep.is_empty());
+        assert!(report.fleet_sweep.iter().all(|p| p.apps_per_second > 0.0));
+        assert!(report.fleet_scaling() > 0.0);
+        assert!(report
+            .to_json()
+            .contains("\"schema\": \"slimstart-bench-hotpath/v2\""));
+    }
+
+    #[test]
+    fn regression_gate_trips_on_slow_current() {
+        let config = BenchConfig {
+            smoke: true,
+            seed: 7,
+            threads: 1,
+        };
+        let mut report = run(&config);
+        report
+            .check_regressions()
+            .expect("fresh run passes the gate");
+        report.event_queue.current_ns = report.event_queue.legacy_ns * 4.0;
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("event_queue"), "{err}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use slimstart_core::pipeline::{Pipeline, PipelineConfig, PipelineError, Pipeline
 use slimstart_core::resilience::DegradationLevel;
 use slimstart_platform::chaos::{ChaosConfig, ChaosPlan};
 use slimstart_platform::metrics::Speedup;
+use slimstart_pyrt::snapshot::SnapshotStore;
 use slimstart_simcore::SimRng;
 
 use crate::report::{AppChaosRecord, AppRecord, FleetReport};
@@ -315,6 +316,11 @@ fn run_app(
     // (experiment seed, population index).
     let chaos_plan =
         (!cfg.chaos.is_disabled()).then(|| Arc::new(ChaosPlan::from_seed(cfg.chaos, chaos_seed)));
+    // One snapshot store per app, never shared across apps: restores are
+    // byte-identical to replays, but keeping stores app-local means worker
+    // scheduling cannot even share cache state across population indices —
+    // thread-count independence stays structural, not incidental.
+    let snapshot_store = SnapshotStore::default_for_env();
     let mut speedups = Vec::with_capacity(runs);
     let mut last: Option<PipelineOutcome> = None;
     for r in 0..runs {
@@ -328,6 +334,9 @@ fn run_app(
             .clone()
             .with_seed(run_seed)
             .with_cold_starts(cfg.cold_starts);
+        // Override whatever store the template platform carries (possibly
+        // one shared fleet-wide through the clone) with this app's own.
+        pipeline_cfg.platform.snapshot_store = snapshot_store.clone();
         if let Some(plan) = &chaos_plan {
             pipeline_cfg = pipeline_cfg.with_chaos_plan(Arc::clone(plan));
         }

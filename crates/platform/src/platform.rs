@@ -3,9 +3,10 @@
 
 use std::sync::Arc;
 
-use slimstart_appmodel::Application;
+use slimstart_appmodel::{Application, ModuleId};
 use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::observer::ExecutionObserver;
+use slimstart_pyrt::snapshot::{deployment_fingerprint, SnapshotKey, SnapshotStore};
 use slimstart_pyrt::RuntimeFault;
 use slimstart_simcore::event::EventQueue;
 use slimstart_simcore::rng::SimRng;
@@ -44,6 +45,11 @@ pub struct PlatformConfig {
     /// Fault-injection schedule; `None` behaves exactly like
     /// [`ChaosPlan::none`] (no draws, no overhead).
     pub chaos: Option<Arc<ChaosPlan>>,
+    /// Cold-start snapshot cache shared by this deployment's containers;
+    /// `None` replays every cold start through the loader. Restores are
+    /// byte-identical to replays, so this is purely a simulation-speed
+    /// knob (`SLIMSTART_NO_SNAPSHOT=1` disables the default store).
+    pub snapshot_store: Option<Arc<SnapshotStore>>,
 }
 
 impl std::fmt::Debug for PlatformConfig {
@@ -60,6 +66,7 @@ impl std::fmt::Debug for PlatformConfig {
                 "chaos",
                 &self.chaos.as_ref().is_some_and(|c| c.is_enabled()),
             )
+            .field("snapshots", &self.snapshot_store.is_some())
             .finish()
     }
 }
@@ -75,6 +82,7 @@ impl Default for PlatformConfig {
             max_containers: 1_000,
             observer_factory: None,
             chaos: None,
+            snapshot_store: SnapshotStore::default_for_env(),
         }
     }
 }
@@ -97,6 +105,19 @@ impl PlatformConfig {
         self.chaos = Some(chaos);
         self
     }
+
+    /// Returns a copy sharing the given cold-start snapshot store.
+    pub fn with_snapshot_store(mut self, store: Arc<SnapshotStore>) -> Self {
+        self.snapshot_store = Some(store);
+        self
+    }
+
+    /// Returns a copy that replays every cold start through the loader
+    /// (no snapshot memoization).
+    pub fn without_snapshots(mut self) -> Self {
+        self.snapshot_store = None;
+        self
+    }
 }
 
 /// The serverless platform serving one application deployment.
@@ -115,6 +136,11 @@ pub struct Platform {
     expiry_events: EventQueue<()>,
     /// Reused scratch for draining `expiry_events` without allocating.
     expiry_scratch: Vec<(SimTime, ())>,
+    /// Snapshot-cache fingerprint of this deployment (application
+    /// structure mixed with the chaos configuration), computed once at
+    /// deploy time. A redeploy builds a new `Platform`, so an optimized
+    /// application never reuses the pre-optimization entries.
+    snapshot_fingerprint: u64,
 }
 
 impl std::fmt::Debug for Platform {
@@ -131,6 +157,7 @@ impl Platform {
     /// Creates a platform serving `app` with the given config and RNG seed.
     pub fn new(app: Arc<Application>, config: PlatformConfig, seed: u64) -> Self {
         let plan = Arc::new(LoaderPlan::build(&app));
+        let snapshot_fingerprint = Self::fingerprint(&app, &config);
         Platform {
             app,
             plan,
@@ -141,7 +168,56 @@ impl Platform {
             records: Vec::new(),
             expiry_events: EventQueue::new(),
             expiry_scratch: Vec::new(),
+            snapshot_fingerprint,
         }
+    }
+
+    /// The deployment's snapshot fingerprint: everything that shapes an
+    /// init replay (module graph, stripped flags, import modes) plus the
+    /// chaos perturbation rates, so experiments under different fault
+    /// schedules never share cache entries.
+    fn fingerprint(app: &Application, config: &PlatformConfig) -> u64 {
+        let mut fp = deployment_fingerprint(app);
+        if let Some(chaos) = config.chaos.as_ref().filter(|c| c.is_enabled()) {
+            let c = chaos.config();
+            for rate in [
+                c.crash_during_init,
+                c.sampler_dropout,
+                c.upload_loss,
+                c.upload_truncation,
+                c.deploy_failure,
+                c.reclamation_storm,
+            ] {
+                fp = SnapshotKey::new(ModuleId::from_index(0), fp)
+                    .mix(rate.to_bits())
+                    .fingerprint;
+            }
+        }
+        fp
+    }
+
+    /// Cold-starts `container`'s process for `root`, restoring a memoized
+    /// snapshot when one exists for this deployment. Observed processes
+    /// always replay for real — the profiler must see every advance — and
+    /// unobserved replays are byte-identical either way, so records, load
+    /// events and golden reports cannot tell the paths apart.
+    fn cold_start_container(
+        &self,
+        container: &mut Container,
+        root: ModuleId,
+    ) -> Result<SimDuration, RuntimeFault> {
+        let process = container.process_mut();
+        let store = match &self.config.snapshot_store {
+            Some(store) if !process.has_observer() => store,
+            _ => return process.cold_start(root),
+        };
+        let key = SnapshotKey::new(root, self.snapshot_fingerprint);
+        if let Some(snapshot) = store.get(&key) {
+            return Ok(process.restore_snapshot(&snapshot));
+        }
+        let load = process.cold_start(root)?;
+        store.insert(key, process.capture_snapshot());
+        Ok(load)
     }
 
     /// The deployed application.
@@ -200,7 +276,7 @@ impl Platform {
             }
             let provision = self.config.provision_cost.mul_f64(time_scale);
             let runtime_startup = self.config.runtime_startup_cost.mul_f64(time_scale);
-            let load = container.process_mut().cold_start(root)?;
+            let load = self.cold_start_container(&mut container, root)?;
             // The container is busy until its warm-up completes.
             container.occupy(SimTime::ZERO, provision + runtime_startup + load);
             self.note_occupied(container.busy_until());
@@ -363,7 +439,7 @@ impl Platform {
         let provision = self.config.provision_cost.mul_f64(time_scale);
         let runtime_startup = self.config.runtime_startup_cost.mul_f64(time_scale);
         let root = self.app.handler_module(inv.handler);
-        let load = container.process_mut().cold_start(root)?;
+        let load = self.cold_start_container(&mut container, root)?;
         let init = provision + runtime_startup + load;
 
         let mut inv_rng = SimRng::seed_from(inv.seed);
@@ -635,6 +711,92 @@ mod tests {
         p.run(&[inv(0, 1)]).unwrap();
         p.run(&[inv(1_000, 2)]).unwrap();
         assert_eq!(p.records().len(), 2);
+    }
+
+    mod snapshots {
+        use super::*;
+
+        #[test]
+        fn snapshot_cache_is_byte_invisible_in_records() {
+            // Jitter on, so restores replay through varying time scales;
+            // the recurrent cold starts (keep-alive gaps) hit the cache and
+            // must produce byte-identical records either way.
+            let gap = 11 * 60 * 1000;
+            let invs = [inv(0, 1), inv(gap, 2), inv(2 * gap, 3), inv(3 * gap, 4)];
+            let jittered = PlatformConfig {
+                jitter_sigma: 0.1,
+                ..PlatformConfig::default()
+            };
+            let store = Arc::new(SnapshotStore::new());
+            let cached = {
+                let c = jittered.clone().with_snapshot_store(Arc::clone(&store));
+                let mut p = Platform::new(app(), c, 7);
+                p.run(&invs).unwrap().to_vec()
+            };
+            assert_eq!(store.misses(), 1, "first cold start populates");
+            assert_eq!(store.hits(), 3, "repeats restore");
+            let replayed = {
+                let mut p = Platform::new(app(), jittered.without_snapshots(), 7);
+                p.run(&invs).unwrap().to_vec()
+            };
+            assert_eq!(cached, replayed);
+        }
+
+        #[test]
+        fn redeploy_invalidates_by_fingerprint() {
+            let store = Arc::new(SnapshotStore::new());
+            let c = cfg().with_snapshot_store(Arc::clone(&store));
+            let mut p = Platform::new(app(), c.clone(), 1);
+            p.run(&[inv(0, 1)]).unwrap();
+            assert_eq!(store.len(), 1);
+            // "Optimize" the app (defer the lib import, as the optimizer
+            // would) and redeploy sharing the same store: the changed
+            // fingerprint must miss and add a second entry.
+            let mut b = AppBuilder::new("t");
+            let lib = b.add_library("lib");
+            let h = b.add_app_module("handler", ms(1), 100);
+            let root = b.add_library_module("lib", ms(99), 1_000, false, lib);
+            b.add_import(h, root, 2, ImportMode::Deferred).unwrap();
+            let f_lib = b.add_function(
+                "work",
+                root,
+                5,
+                vec![Stmt {
+                    line: 6,
+                    kind: StmtKind::Work(ms(10)),
+                }],
+            );
+            let f = b.add_function(
+                "main",
+                h,
+                4,
+                vec![Stmt {
+                    line: 5,
+                    kind: StmtKind::call(f_lib),
+                }],
+            );
+            b.add_handler("main", f);
+            let optimized = Arc::new(b.finish().unwrap());
+            let mut p2 = Platform::new(optimized, c, 1);
+            p2.run(&[inv(0, 1)]).unwrap();
+            assert_eq!(store.len(), 2, "redeploy must not reuse old entries");
+            assert_eq!(store.hits(), 0);
+        }
+
+        #[test]
+        fn observed_processes_never_use_the_cache() {
+            use slimstart_pyrt::observer::NullObserver;
+            let store = Arc::new(SnapshotStore::new());
+            let factory: ObserverFactory = Arc::new(|| Box::new(NullObserver));
+            let c = cfg()
+                .with_snapshot_store(Arc::clone(&store))
+                .with_observer_factory(factory);
+            let gap = 11 * 60 * 1000;
+            let mut p = Platform::new(app(), c, 1);
+            p.run(&[inv(0, 1), inv(gap, 2)]).unwrap();
+            assert!(store.is_empty(), "observed cold starts must replay");
+            assert_eq!((store.hits(), store.misses()), (0, 0));
+        }
     }
 
     mod chaos_injection {

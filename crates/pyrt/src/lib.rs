@@ -45,10 +45,12 @@ pub mod fault;
 pub mod loader;
 pub mod observer;
 pub mod process;
+pub mod snapshot;
 pub mod stack;
 
 pub use fault::RuntimeFault;
 pub use loader::{LoaderPlan, ModuleSet};
 pub use observer::{AdvanceContext, ExecutionObserver, NullObserver};
 pub use process::{InvocationOutcome, LoadEvent, Process};
+pub use snapshot::{deployment_fingerprint, SnapLoad, Snapshot, SnapshotKey, SnapshotStore};
 pub use stack::{CallStack, Frame, FrameKind};

@@ -16,6 +16,7 @@ use slimstart_simcore::time::{SimDuration, SimTime};
 use crate::fault::RuntimeFault;
 use crate::loader::LoaderPlan;
 use crate::observer::{AdvanceContext, ExecutionObserver};
+use crate::snapshot::{SnapLoad, Snapshot};
 use crate::stack::{CallStack, FrameKind};
 
 /// Maximum call depth before the interpreter aborts (guards against model
@@ -211,6 +212,107 @@ impl Process {
         self.in_cold_start = false;
         self.bump_peak();
         Ok(self.clock.since(start))
+    }
+
+    /// Captures the outcome of the cold start this process just performed
+    /// as a [`Snapshot`]: load order with raw (unscaled) per-module
+    /// charges, plus the resulting module-cache bitset.
+    ///
+    /// Only meaningful immediately after a successful
+    /// [`Process::cold_start`] on an unobserved process — an observer
+    /// perturbs clocks in ways a restore must not replay silently, and
+    /// post-init deferred loads are not part of a cold start.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no observer is attached and that every load so
+    /// far happened during init.
+    pub fn capture_snapshot(&self) -> Snapshot {
+        debug_assert!(
+            self.observer.is_none(),
+            "snapshots must not capture observed cold starts"
+        );
+        debug_assert!(
+            self.load_events.iter().all(|e| e.during_init),
+            "snapshot capture after deferred loads"
+        );
+        let loads: Box<[SnapLoad]> = self
+            .load_events
+            .iter()
+            .map(|e| {
+                let module = self.app.module(e.module);
+                SnapLoad {
+                    module: e.module,
+                    init_cost: module.init_cost(),
+                    mem_kb: module.mem_kb(),
+                }
+            })
+            .collect();
+        let nominal_init = loads.iter().map(|l| l.init_cost).sum();
+        Snapshot {
+            loads,
+            loaded: self.loaded.clone().into_boxed_slice(),
+            loaded_count: self.loaded_count,
+            nominal_init,
+        }
+    }
+
+    /// Replays a captured cold start onto this fresh process and returns
+    /// the initialization latency, exactly as [`Process::cold_start`]
+    /// would have: each stored raw charge is scaled through this process's
+    /// own `time_scale` with the same per-module rounding the loader uses,
+    /// so clocks, load events, memory, and the module cache come out
+    /// byte-identical to a real replay — in O(modules) straight-line work.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that this process is fresh (nothing loaded) and
+    /// unobserved.
+    pub fn restore_snapshot(&mut self, snapshot: &Snapshot) -> SimDuration {
+        debug_assert!(
+            self.loaded_count == 0 && self.load_events.is_empty(),
+            "snapshot restore into a non-fresh process"
+        );
+        debug_assert!(
+            self.observer.is_none(),
+            "snapshot restore into an observed process"
+        );
+        debug_assert_eq!(
+            self.loaded.len(),
+            snapshot.loaded.len(),
+            "snapshot from a different application shape"
+        );
+        let start = self.clock;
+        let scale = self.time_scale;
+        // `mul_f64(1.0)` is exact identity for any µs count below 2^53
+        // (~285 years), so the unjittered common case can skip the
+        // float round-trip without perturbing a single byte.
+        let unscaled = scale == 1.0;
+        let mut clock = self.clock;
+        let mut mem_kb = self.mem_kb;
+        self.load_events.extend(snapshot.loads.iter().map(|load| {
+            // Per-load scaling, not a scaled sum: mul_f64 rounds per call
+            // and the replay must round exactly like the loader did.
+            let scaled = if unscaled {
+                load.init_cost
+            } else {
+                load.init_cost.mul_f64(scale)
+            };
+            clock += scaled;
+            mem_kb += load.mem_kb;
+            LoadEvent {
+                module: load.module,
+                at: clock,
+                self_cost: scaled,
+                during_init: true,
+            }
+        }));
+        self.clock = clock;
+        self.mem_kb = mem_kb;
+        self.loaded.copy_from_slice(&snapshot.loaded);
+        self.loaded_count = snapshot.loaded_count;
+        self.bump_peak();
+        self.clock.since(start)
     }
 
     /// Executes one invocation of `handler`, using `rng` for the
@@ -761,6 +863,52 @@ mod tests {
         let b = private.invoke(handler, &mut SimRng::seed_from(1)).unwrap();
         assert_eq!(a, b);
         assert_eq!(shared.load_events(), private.load_events());
+    }
+
+    #[test]
+    fn snapshot_restore_replays_cold_start_exactly() {
+        let (app, root, h) = build_app(true);
+        let plan = Arc::new(LoaderPlan::build(&app));
+        // Capture from one cold start, restore into fresh processes at the
+        // same and at jittered time scales — every observable must match a
+        // real replay bit for bit.
+        let mut origin = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), 1.0);
+        origin.cold_start(root).unwrap();
+        let snapshot = origin.capture_snapshot();
+        for scale in [1.0, 0.5, 1.37, 2.0] {
+            let mut replay = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), scale);
+            let real = replay.cold_start(root).unwrap();
+            let mut restored = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), scale);
+            let fast = restored.restore_snapshot(&snapshot);
+            assert_eq!(fast, real, "init latency at scale {scale}");
+            assert_eq!(restored.clock(), replay.clock());
+            assert_eq!(restored.load_events(), replay.load_events());
+            assert_eq!(restored.mem_kb(), replay.mem_kb());
+            assert_eq!(restored.peak_mem_kb(), replay.peak_mem_kb());
+            assert_eq!(restored.init_time_paid(), replay.init_time_paid());
+            for i in 0..app.modules().len() {
+                let m = ModuleId::from_index(i);
+                assert_eq!(restored.is_loaded(m), replay.is_loaded(m));
+            }
+            // Warm execution after a restore is indistinguishable too,
+            // including the first-use deferred load of the cold subtree.
+            let a = replay.invoke(h, &mut SimRng::seed_from(9)).unwrap();
+            let b = restored.invoke(h, &mut SimRng::seed_from(9)).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(restored.load_events(), replay.load_events());
+        }
+    }
+
+    #[test]
+    fn snapshot_nominal_init_sums_raw_charges() {
+        let (app, root, _) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 3.0);
+        p.cold_start(root).unwrap();
+        let snapshot = p.capture_snapshot();
+        // Raw (unscaled) charges: 1 + 2 + 10 + 50 + 25 ms.
+        assert_eq!(snapshot.nominal_init, ms(88));
+        assert_eq!(snapshot.loads.len(), 5);
+        assert_eq!(snapshot.loaded_count, 5);
     }
 
     #[test]

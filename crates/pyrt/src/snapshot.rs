@@ -1,0 +1,232 @@
+//! Cold-start snapshots: memoized init replays.
+//!
+//! The cost model makes every cold start of a deployment a deterministic
+//! replay of the same transitive import sequence — the loader plan walk,
+//! the per-module init charges, the memory growth. A [`Snapshot`] captures
+//! the complete outcome of one such replay (load order, per-module raw
+//! init charges and memory, the resulting module-cache bitset) so the
+//! second and later cold starts of the same deployment restore it in
+//! O(modules) straight-line work instead of re-walking the plan.
+//!
+//! A [`SnapshotStore`] keys snapshots by [`SnapshotKey`]: the entry module
+//! plus a fingerprint over everything that shapes the replay — module
+//! names, `stripped` flags, init costs, memory sizes, and the
+//! eager-vs-deferred mode of every import. Redeploying an optimized
+//! application (deferred imports, stripped modules) therefore misses the
+//! cache and re-snapshots; the platform additionally folds its chaos
+//! configuration into the fingerprint so perturbed experiments never share
+//! entries with clean ones.
+//!
+//! Restores are byte-exact: [`crate::process::Process::restore_snapshot`]
+//! re-applies the stored raw charges through the restoring process's own
+//! `time_scale` with the same per-module rounding the loader uses, so
+//! load events, clocks, and memory are identical to a real replay at any
+//! jittered container speed. Snapshots are only taken from — and only
+//! restored into — unobserved processes: a profiling deployment must run
+//! its observer callbacks for real.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fxhash::FxHasher;
+use slimstart_appmodel::{Application, ModuleId};
+use slimstart_simcore::time::SimDuration;
+
+/// Identifies one memoized cold-start outcome: the entry module plus a
+/// fingerprint of the deployment (and any platform perturbation) it was
+/// captured under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapshotKey {
+    /// The handler's entry module the cold start began at.
+    pub root: ModuleId,
+    /// [`deployment_fingerprint`] of the application, optionally mixed
+    /// with platform-level perturbation state via [`SnapshotKey::mix`].
+    pub fingerprint: u64,
+}
+
+impl SnapshotKey {
+    /// Creates a key for `root` under `fingerprint`.
+    pub fn new(root: ModuleId, fingerprint: u64) -> SnapshotKey {
+        SnapshotKey { root, fingerprint }
+    }
+
+    /// Folds extra perturbation state (e.g. a chaos-config hash) into the
+    /// fingerprint. Mixing is order-sensitive and collision-resistant
+    /// enough for cache keying (splitmix-style finalizer).
+    pub fn mix(self, extra: u64) -> SnapshotKey {
+        let mut z = self.fingerprint ^ extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SnapshotKey {
+            root: self.root,
+            fingerprint: z ^ (z >> 31),
+        }
+    }
+}
+
+/// One module load in a captured init replay: the module plus its *raw*
+/// (unscaled) charges, so a restore can re-apply them through any
+/// container's `time_scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapLoad {
+    /// The module that loaded.
+    pub module: ModuleId,
+    /// Its nominal top-level init cost (unscaled).
+    pub init_cost: SimDuration,
+    /// Its resident size, KiB.
+    pub mem_kb: u64,
+}
+
+/// The memoized outcome of one cold-start replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Every load in replay order, with raw charges.
+    pub loads: Box<[SnapLoad]>,
+    /// The loaded-module bitset after the replay (one bit per module id).
+    pub loaded: Box<[u64]>,
+    /// Number of set bits in `loaded`.
+    pub loaded_count: usize,
+    /// Cumulative nominal (unscaled) init latency of the replay.
+    pub nominal_init: SimDuration,
+}
+
+/// A concurrent map from [`SnapshotKey`] to captured [`Snapshot`]s, shared
+/// behind an `Arc` by every container of a deployment (the platform) or of
+/// an app's run set (the fleet orchestrator, which keeps one store per app
+/// so thread scheduling can never leak state across apps).
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    map: Mutex<HashMap<SnapshotKey, Arc<Snapshot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> SnapshotStore {
+        SnapshotStore::default()
+    }
+
+    /// Creates a shared handle to a fresh store, or `None` when snapshots
+    /// are disabled via the `SLIMSTART_NO_SNAPSHOT=1` escape hatch.
+    pub fn default_for_env() -> Option<Arc<SnapshotStore>> {
+        if std::env::var_os("SLIMSTART_NO_SNAPSHOT").is_some_and(|v| v == *"1") {
+            None
+        } else {
+            Some(Arc::new(SnapshotStore::new()))
+        }
+    }
+
+    /// Looks up a snapshot, counting a hit or miss.
+    pub fn get(&self, key: &SnapshotKey) -> Option<Arc<Snapshot>> {
+        let found = self
+            .map
+            .lock()
+            .expect("snapshot store poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(s) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(s)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the snapshot for `key`.
+    pub fn insert(&self, key: SnapshotKey, snapshot: Snapshot) -> Arc<Snapshot> {
+        let snapshot = Arc::new(snapshot);
+        self.map
+            .lock()
+            .expect("snapshot store poisoned")
+            .insert(key, Arc::clone(&snapshot));
+        snapshot
+    }
+
+    /// Number of memoized snapshots.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("snapshot store poisoned").len()
+    }
+
+    /// Whether the store holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far. Diagnostic only — never serialized into reports.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far. Diagnostic only — never serialized into
+    /// reports.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Fingerprints everything about `app` that shapes a cold-start replay:
+/// module names, `stripped` flags, init costs, memory sizes, and each
+/// import's target and eager-vs-deferred mode. Two application states with
+/// equal fingerprints replay identically; any optimizer edit (deferring an
+/// import, stripping a module) changes the fingerprint and invalidates
+/// every snapshot captured before the redeploy.
+pub fn deployment_fingerprint(app: &Application) -> u64 {
+    let mut h = FxHasher::default();
+    app.name().hash(&mut h);
+    app.modules().len().hash(&mut h);
+    for (i, module) in app.modules().iter().enumerate() {
+        module.name().hash(&mut h);
+        module.stripped().hash(&mut h);
+        module.init_cost().as_micros().hash(&mut h);
+        module.mem_kb().hash(&mut h);
+        for decl in app.imports_of(ModuleId::from_index(i)) {
+            decl.target.index().hash(&mut h);
+            decl.mode.is_global().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_changes_fingerprint_and_keeps_root() {
+        let key = SnapshotKey::new(ModuleId::from_index(3), 42);
+        let mixed = key.mix(7);
+        assert_eq!(mixed.root, key.root);
+        assert_ne!(mixed.fingerprint, key.fingerprint);
+        // Deterministic and sensitive to the extra value.
+        assert_eq!(key.mix(7), key.mix(7));
+        assert_ne!(key.mix(7), key.mix(8));
+    }
+
+    #[test]
+    fn store_counts_hits_and_misses() {
+        let store = SnapshotStore::new();
+        let key = SnapshotKey::new(ModuleId::from_index(0), 1);
+        assert!(store.get(&key).is_none());
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        store.insert(
+            key,
+            Snapshot {
+                loads: Box::new([]),
+                loaded: Box::new([]),
+                loaded_count: 0,
+                nominal_init: SimDuration::ZERO,
+            },
+        );
+        assert!(store.get(&key).is_some());
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+}

@@ -27,8 +27,11 @@
 //! slimstart bench [options]                 hot-path micro-benchmarks
 //!     --smoke                               tiny iteration counts (CI)
 //!     --seed <S>                            bench seed (default 2025)
-//!     --threads <T>                         fleet stage threads
+//!     --threads <T>                         fleet sweep max threads
 //!     --out <PATH>                          also write the JSON report here
+//!     --check                               fail if any current path runs
+//!                                           >3x slower than its in-run
+//!                                           legacy baseline (CI perf gate)
 //! slimstart help                            this text
 //! ```
 //!
@@ -104,7 +107,7 @@ USAGE:
     slimstart trace [--seed S]
     slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
     slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
-    slimstart bench [--smoke] [--seed S] [--threads T] [--out PATH]
+    slimstart bench [--smoke] [--seed S] [--threads T] [--out PATH] [--check]
     slimstart help
 
 Run `cargo bench -p slimstart-bench` to regenerate every paper table/figure."
@@ -400,6 +403,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     if let Some(path) = flag_value_str(args, "--out")? {
         std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    if args.iter().any(|a| a == "--check") {
+        report.check_regressions()?;
+        println!("perf gate: every current path within 3x of its in-run baseline");
     }
     Ok(())
 }

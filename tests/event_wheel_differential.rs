@@ -1,0 +1,141 @@
+//! Differential property test for the timing-wheel event queue.
+//!
+//! The wheel ([`EventQueue`]) replaced the binary heap as the simulation
+//! scheduler; the heap survives as [`ReferenceEventQueue`] precisely so this
+//! suite can drive both through identical operation interleavings and demand
+//! identical observable behavior:
+//!
+//! 1. **Same pops.** Every `pop` returns the same `(time, payload)` pair from
+//!    both queues, including FIFO tie-breaking for events scheduled at the
+//!    same instant.
+//! 2. **Same batches.** `pop_due_into` drains the same due prefix in the same
+//!    order at every probed horizon.
+//! 3. **Same bookkeeping.** `len`/`peek_time` agree after every operation.
+//!
+//! The generated schedules deliberately include same-instant ties, past-time
+//! schedules (at times already popped), and far-future offsets beyond the
+//! wheel's 2^42 µs horizon so the overflow spill/rescue path is exercised.
+
+use slimstart::simcore::event::reference::ReferenceEventQueue;
+use slimstart::simcore::event::EventQueue;
+use slimstart::simcore::{SimRng, SimTime};
+
+/// One randomized interleaving: mixed schedule / pop / pop_due_into traffic
+/// driven against both queues in lockstep.
+fn drive(seed: u64, ops: usize) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap: ReferenceEventQueue<u64> = ReferenceEventQueue::new();
+    let mut wheel_buf = Vec::new();
+    let mut heap_buf = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut payload = 0u64;
+
+    for op in 0..ops {
+        match rng.next_below(10) {
+            // Schedule-heavy mix keeps the queues populated.
+            0..=5 => {
+                let offset = match rng.next_below(20) {
+                    // Common case: near-future offsets inside level 0..3.
+                    0..=13 => rng.next_below(1_000_000) as u64,
+                    // Mid-range: minutes out, upper wheel levels.
+                    14..=17 => rng.next_below(60_000_000) as u64,
+                    // Same-instant tie with whatever `now` is.
+                    18 => 0,
+                    // Beyond the 2^42 µs horizon: overflow list.
+                    _ => (1u64 << 43) + rng.next_below(1_000_000) as u64,
+                };
+                // Occasionally aim *behind* the cursor: a past-time schedule
+                // must still pop (clamped), ordered by its true timestamp.
+                let at = if rng.chance(0.1) && now.as_micros() > 10 {
+                    SimTime::from_micros(now.as_micros() - rng.next_below(10) as u64)
+                } else {
+                    SimTime::from_micros(now.as_micros() + offset)
+                };
+                payload += 1;
+                wheel.schedule(at, payload);
+                heap.schedule(at, payload);
+            }
+            6..=7 => {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "seed {seed} op {op}: pop diverged");
+                if let Some((at, _)) = a {
+                    now = now.max(at);
+                }
+            }
+            _ => {
+                let horizon =
+                    SimTime::from_micros(now.as_micros() + rng.next_below(5_000_000) as u64);
+                wheel.pop_due_into(horizon, &mut wheel_buf);
+                heap.pop_due_into(horizon, &mut heap_buf);
+                assert_eq!(
+                    wheel_buf, heap_buf,
+                    "seed {seed} op {op}: pop_due_into diverged at {horizon:?}"
+                );
+                if let Some((at, _)) = wheel_buf.last() {
+                    now = now.max(*at);
+                }
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "seed {seed} op {op}: len diverged");
+        assert_eq!(
+            wheel.peek_time(),
+            heap.peek_time(),
+            "seed {seed} op {op}: peek_time diverged"
+        );
+    }
+
+    // Full drain must agree to the last event.
+    while let Some(expected) = heap.pop() {
+        assert_eq!(wheel.pop(), Some(expected), "seed {seed}: drain diverged");
+    }
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn random_interleavings_match_the_reference_heap() {
+    for seed in [1, 7, 42, 1234, 0xDEAD_BEEF, 2025] {
+        drive(seed, 3_000);
+    }
+}
+
+#[test]
+fn same_instant_ties_drain_in_schedule_order() {
+    let mut wheel: EventQueue<&str> = EventQueue::new();
+    let mut heap: ReferenceEventQueue<&str> = ReferenceEventQueue::new();
+    let at = SimTime::from_millis(5);
+    for payload in ["first", "second", "third", "fourth"] {
+        wheel.schedule(at, payload);
+        heap.schedule(at, payload);
+    }
+    // A later event must not disturb the tie order of the earlier four.
+    wheel.schedule(SimTime::from_millis(6), "later");
+    heap.schedule(SimTime::from_millis(6), "later");
+    for _ in 0..5 {
+        assert_eq!(wheel.pop(), heap.pop());
+    }
+    assert_eq!(wheel.pop(), None);
+}
+
+#[test]
+fn far_future_overflow_agrees_with_the_heap() {
+    let mut wheel: EventQueue<u32> = EventQueue::new();
+    let mut heap: ReferenceEventQueue<u32> = ReferenceEventQueue::new();
+    // Interleave near events with ones far past the wheel horizon, then a
+    // second near wave after the first drain forces overflow redistribution.
+    let far = 1u64 << 44;
+    for (i, at) in [3, far, 1, far + 2, 2, far + 1].iter().enumerate() {
+        wheel.schedule(SimTime::from_micros(*at), i as u32);
+        heap.schedule(SimTime::from_micros(*at), i as u32);
+    }
+    for _ in 0..3 {
+        assert_eq!(wheel.pop(), heap.pop());
+    }
+    wheel.schedule(SimTime::from_micros(far + 3), 99);
+    heap.schedule(SimTime::from_micros(far + 3), 99);
+    while let Some(expected) = heap.pop() {
+        assert_eq!(wheel.pop(), Some(expected));
+    }
+    assert!(wheel.is_empty());
+}

@@ -1,0 +1,149 @@
+//! Snapshot-cache equivalence: the cold-start snapshot cache is a pure
+//! memoization layer, so enabling it must never change a single byte of any
+//! report. These tests run the full pipeline twice per cell — snapshots
+//! force-disabled vs. force-enabled with a fresh store — and demand
+//! byte-identical serialized outcomes across a chaos grid, with and without
+//! platform jitter.
+//!
+//! The companion guarantee — that the goldens under `tests/golden/` keep
+//! passing with snapshots on and *without* re-blessing (`SLIMSTART_BLESS=1`)
+//! — is enforced by `tests/golden_reports.rs`, which runs with the default
+//! (snapshot-enabled) platform configuration.
+
+use std::sync::Arc;
+
+use slimstart::appmodel::catalog::{fleet_population, CatalogApp};
+use slimstart::core::export::outcome_to_json;
+use slimstart::core::pipeline::{Pipeline, PipelineConfig};
+use slimstart::platform::chaos::ChaosConfig;
+use slimstart::platform::PlatformConfig;
+use slimstart::pyrt::snapshot::SnapshotStore;
+
+/// Serialize one pipeline run with the given platform config.
+fn run_json(
+    entry: &CatalogApp,
+    seed: u64,
+    chaos: Option<ChaosConfig>,
+    platform: PlatformConfig,
+) -> String {
+    let built = entry.build(seed).expect("catalog blueprint builds");
+    let mut config = PipelineConfig::default()
+        .with_cold_starts(8)
+        .with_platform(platform)
+        .with_seed(seed);
+    if let Some(mix) = chaos {
+        config = config.with_chaos(mix);
+    }
+    let outcome = Pipeline::new(config)
+        .run(&built.app, &entry.workload_weights())
+        .expect("pipeline completes");
+    outcome_to_json(&outcome)
+}
+
+/// Run disabled-vs-enabled on one cell and return the enabled-side store so
+/// callers can assert the cache actually participated.
+fn assert_equivalent(
+    entry: &CatalogApp,
+    seed: u64,
+    chaos: Option<ChaosConfig>,
+    base: PlatformConfig,
+    label: &str,
+) -> Arc<SnapshotStore> {
+    let store = Arc::new(SnapshotStore::new());
+    let disabled = run_json(entry, seed, chaos, base.clone().without_snapshots());
+    let enabled = run_json(entry, seed, chaos, base.with_snapshot_store(store.clone()));
+    assert_eq!(
+        disabled, enabled,
+        "{label} ({}, seed {seed}): snapshot cache changed the report",
+        entry.code
+    );
+    store
+}
+
+#[test]
+fn chaos_free_reports_are_byte_identical_with_snapshots_on() {
+    let population = fleet_population(3);
+    for (i, entry) in population.iter().enumerate() {
+        let seed = 100 + i as u64 * 13;
+        let store = assert_equivalent(
+            entry,
+            seed,
+            None,
+            PlatformConfig::default().without_jitter(),
+            "chaos-off",
+        );
+        // Eight cold starts per deployment: the first misses and captures,
+        // the rest must restore from the cache — otherwise this test is
+        // vacuously comparing two identical non-cached runs.
+        assert!(
+            store.hits() > 0,
+            "{}: cache never hit (misses {})",
+            entry.code,
+            store.misses()
+        );
+        // One miss per distinct deployment fingerprint: the pipeline deploys
+        // the original app and its optimized rewrite through the same store.
+        assert_eq!(
+            store.misses(),
+            2,
+            "{}: two deployments, two misses",
+            entry.code
+        );
+    }
+}
+
+#[test]
+fn jittered_time_scales_restore_exactly() {
+    // Platform jitter gives every container its own time scale; the restore
+    // path re-applies raw per-module costs through the same per-load scaling
+    // as the loader, so byte equality must survive jitter too.
+    let population = fleet_population(2);
+    for (i, entry) in population.iter().enumerate() {
+        let store = assert_equivalent(
+            entry,
+            7_000 + i as u64,
+            None,
+            PlatformConfig::default(),
+            "jittered",
+        );
+        assert!(store.hits() > 0, "{}: cache never hit", entry.code);
+    }
+}
+
+#[test]
+fn chaos_grid_stays_equivalent() {
+    // Fault injection perturbs which cold starts happen and when; the cache
+    // key mixes the chaos rates, and restores must remain byte-invisible
+    // under every mix (including observer-free sampler-dropout containers,
+    // which are snapshot-eligible).
+    let mixes = [
+        ("uniform-0.25", ChaosConfig::uniform(0.25)),
+        (
+            "platform-storm",
+            ChaosConfig {
+                crash_during_init: 0.5,
+                reclamation_storm: 0.4,
+                sampler_dropout: 0.5,
+                ..ChaosConfig::DISABLED
+            },
+        ),
+        (
+            "deploy-storm",
+            ChaosConfig {
+                deploy_failure: 0.9,
+                ..ChaosConfig::DISABLED
+            },
+        ),
+    ];
+    let population = fleet_population(2);
+    for (m, (name, mix)) in mixes.iter().enumerate() {
+        let entry = &population[m % population.len()];
+        assert_equivalent(
+            entry,
+            4_242 + m as u64 * 101,
+            Some(*mix),
+            PlatformConfig::default().without_jitter(),
+            name,
+        );
+    }
+}
