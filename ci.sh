@@ -12,11 +12,22 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-# The conformance suites guard the chaos-off byte-identity contract and the
-# fault-injection invariants; run them by name so a test-harness filter or
-# workspace reshuffle can never silently drop them from the gate.
-echo "==> cargo test -q --test chaos_sweep --test golden_reports"
-cargo test -q --test chaos_sweep --test golden_reports
+# The conformance suites guard the chaos-off byte-identity contract, the
+# fault-injection invariants and the anti-pattern lint/auto-fix contract;
+# run them by name so a test-harness filter or workspace reshuffle can
+# never silently drop them from the gate.
+echo "==> cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints"
+cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints
+
+# The catalog's five below-gate fixture apps must stay lint-clean at the
+# warning level: `--deny warnings` exits 1 on any warning-or-worse
+# diagnostic from the full 11-pass analyzer (core lints + the anti-pattern
+# catalog).
+echo "==> slimstart lint --deny warnings over the clean fixture apps"
+for code in R-UL R-TN FWB-FLT FWB-JSN FL-HW; do
+    cargo run --release --quiet --bin slimstart -- \
+        lint "$code" --deny warnings --cold-starts 60 > /dev/null
+done
 
 # The hot-path bench harness must run end to end and emit well-formed JSON
 # (the binary validates its own report before writing); --smoke keeps the

@@ -127,8 +127,11 @@ impl AnalysisReport {
             .filter(move |d| d.lint_id == lint_id)
     }
 
-    /// Sorts diagnostics most-severe first, then by file, line and lint id
-    /// so output is deterministic.
+    /// Sorts diagnostics most-severe first, then by file, line, lint id
+    /// and finally message, so the ordering is a total order and renders
+    /// (text, JSON, goldens) are byte-identical across runs — even when
+    /// one pass emits several diagnostics for the same lint at the same
+    /// span.
     pub fn sort(&mut self) {
         self.diagnostics.sort_by(|a, b| {
             b.severity
@@ -136,6 +139,7 @@ impl AnalysisReport {
                 .then_with(|| a.span.file.cmp(&b.span.file))
                 .then_with(|| a.span.line.cmp(&b.span.line))
                 .then_with(|| a.lint_id.cmp(b.lint_id))
+                .then_with(|| a.message.cmp(&b.message))
         });
     }
 
@@ -280,6 +284,32 @@ mod tests {
         r.sort();
         assert_eq!(r.diagnostics[0].severity, Severity::Error);
         assert_eq!(r.diagnostics[1].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn sort_is_a_total_order_with_message_tiebreak() {
+        let d = |msg: &str| Diagnostic {
+            lint_id: "dead-import",
+            severity: Severity::Warning,
+            span: Span::new("handler.py", 3),
+            message: msg.into(),
+            suggestion: None,
+        };
+        // Same severity, span and lint id — only the message differs.
+        let mut r1 = AnalysisReport {
+            app_name: "demo".into(),
+            diagnostics: vec![d("b"), d("a"), d("c")],
+        };
+        let mut r2 = AnalysisReport {
+            app_name: "demo".into(),
+            diagnostics: vec![d("c"), d("b"), d("a")],
+        };
+        r1.sort();
+        r2.sort();
+        assert_eq!(r1, r2);
+        assert_eq!(r1.render_json(), r2.render_json());
+        let msgs: Vec<&str> = r1.diagnostics.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(msgs, ["a", "b", "c"]);
     }
 
     #[test]

@@ -27,6 +27,15 @@
 //!    reports subtrees kept statically but never used (the paper's Fig. 2
 //!    gap).
 //!
+//! On top of these, the [`antipattern`] module contributes six empirical
+//! cold-start anti-pattern lints (`eager-monolithic-init`,
+//! `oversized-dependency-tree`, `init-in-handler`,
+//! `missing-connection-reuse`, `unused-heavy-library`,
+//! `handler-hot-import`), each paired with a [`SuggestedFix`] and ranked
+//! through a per-runtime [`RuntimeProfile`]; [`auto_fix`] applies the
+//! verifier-approved subset and proves convergence by re-analysis.
+//! [`Analyzer::with_antipattern_passes`] registers all eleven passes.
+//!
 //! # Example
 //!
 //! ```
@@ -41,12 +50,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod antipattern;
 pub mod context;
 pub mod diagnostic;
 pub mod passes;
 pub mod safety;
 pub mod usage;
 
+pub use antipattern::{
+    auto_fix, collect_findings, estimated_cold_start_ms, lint_catalog, lint_info,
+    AntipatternConfig, AntipatternFinding, AppliedFix, AutoFixReport, AutoFixResult, FixAction,
+    LintInfo, RejectedFix, RuntimeProfile, SuggestedFix,
+};
 pub use context::AnalysisContext;
 pub use diagnostic::{AnalysisReport, Diagnostic, Severity, Span};
 pub use passes::{

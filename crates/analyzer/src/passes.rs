@@ -12,6 +12,19 @@
 //! | duplicate imports   | `redundant-import`, `shadowed-deferral`    |
 //! | import cycles       | `import-cycle`                             |
 //! | over-approximation  | `over-approximation`                       |
+//!
+//! The [`crate::antipattern`] module contributes six further passes (one
+//! per anti-pattern lint id); [`Analyzer::with_antipattern_passes`]
+//! registers all eleven:
+//!
+//! | pass                       | lint ids                     |
+//! |----------------------------|------------------------------|
+//! | eager-monolithic-init      | `eager-monolithic-init`      |
+//! | oversized-dependency-tree  | `oversized-dependency-tree`  |
+//! | init-in-handler            | `init-in-handler`            |
+//! | missing-connection-reuse   | `missing-connection-reuse`   |
+//! | unused-heavy-library       | `unused-heavy-library`       |
+//! | handler-hot-import         | `handler-hot-import`         |
 
 use std::collections::HashSet;
 
@@ -463,7 +476,7 @@ impl AnalysisPass for OverApproximationPass {
 /// Observed use fraction for `path`: the maximum over recorded keys at or
 /// below `path`. Keys *above* it are not evidence — a profile that saw
 /// `lib` (because `lib.hot` ran) says nothing about `lib.wdead`.
-fn observed_fraction(usage: &ObservedUsage, path: &str) -> f64 {
+pub(crate) fn observed_fraction(usage: &ObservedUsage, path: &str) -> f64 {
     usage
         .by_package
         .iter()
@@ -472,7 +485,7 @@ fn observed_fraction(usage: &ObservedUsage, path: &str) -> f64 {
 }
 
 /// Whether dotted path `outer` equals or contains `inner`.
-fn covers(outer: &str, inner: &str) -> bool {
+pub(crate) fn covers(outer: &str, inner: &str) -> bool {
     inner == outer
         || (inner.len() > outer.len()
             && inner.starts_with(outer)

@@ -75,6 +75,29 @@ pub struct PaperTargets {
     pub fig2_stat_pct: Option<f64>,
 }
 
+/// Knobs that deliberately plant anti-patterns in a synthesized app.
+///
+/// The published catalog entries never set these; [`antipattern_apps`] uses
+/// them to grow positive fixtures for the analyzer's anti-pattern lint
+/// catalog and the verifier-gated auto-fix stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AntipatternSeed {
+    /// Override the main handler's consecutive core-API call count. Four or
+    /// more back-to-back calls to the same client API trip the
+    /// `missing-connection-reuse` lint.
+    pub chatty_calls: Option<usize>,
+    /// Defer the handler-module import of the main library after building,
+    /// so every entry point pays the lazy load inside the request
+    /// (`init-in-handler` / `handler-hot-import`).
+    pub deferred_hot: bool,
+    /// If non-zero, add a `legacysdk` library with this many modules that no
+    /// handler ever calls (`unused-heavy-library`; with 64+ modules it also
+    /// trips `oversized-dependency-tree`).
+    pub unused_lib_modules: usize,
+    /// Eager initialization cost of the planted unused library, ms.
+    pub unused_lib_init_ms: f64,
+}
+
 /// One catalog application: published structure plus the latent composition
 /// used to synthesize it.
 #[derive(Debug, Clone)]
@@ -125,6 +148,8 @@ pub struct CatalogApp {
     pub indirect_extra: bool,
     /// Whether the app has a third, occasionally used entry point.
     pub extra_handler: bool,
+    /// Deliberately planted anti-patterns (`None` for published entries).
+    pub antipattern: Option<AntipatternSeed>,
     /// Published numbers for comparison.
     pub paper: PaperTargets,
 }
@@ -355,13 +380,38 @@ impl CatalogApp {
             });
         }
 
+        // --- planted unused library (anti-pattern seeding) --------------------
+        if let Some(seed) = &self.antipattern {
+            if seed.unused_lib_modules > 0 {
+                libraries.push(LibraryBlueprint {
+                    name: "legacysdk".to_string(),
+                    modules: seed.unused_lib_modules,
+                    avg_depth: (self.avg_depth - 1.0).max(2.5),
+                    init_total: SimDuration::from_millis_f64(seed.unused_lib_init_ms),
+                    mem_total_kb: 4096,
+                    // No handler ever references it; the eager import from the
+                    // handler module is the whole anti-pattern.
+                    subpackages: vec![SubpackageBlueprint {
+                        name: "core".to_string(),
+                        module_share: 1.0,
+                        init_share: 1.0,
+                        mem_share: 1.0,
+                        side_effectful: false,
+                        api_functions: 1,
+                        api_call_cost: SimDuration::from_millis(5),
+                    }],
+                });
+            }
+        }
+
         // --- handlers ----------------------------------------------------------
         let mut handlers = Vec::new();
+        let core_calls = self.antipattern.and_then(|s| s.chatty_calls).unwrap_or(2);
         let mut main_uses = vec![UseSpec {
             library: self.main_library.to_string(),
             subpackage: "core".to_string(),
             api_index: 0,
-            calls: 2,
+            calls: core_calls,
             branch_probability: None,
             indirect: false,
         }];
@@ -468,7 +518,20 @@ impl CatalogApp {
     /// Propagates blueprint validation failures (none occur for shipped
     /// catalog entries; covered by tests).
     pub fn build(&self, seed: u64) -> Result<BuiltApp, BlueprintError> {
-        crate::synth::build_app(&self.blueprint(), seed)
+        let mut built = crate::synth::build_app(&self.blueprint(), seed)?;
+        if self.antipattern.is_some_and(|s| s.deferred_hot) {
+            // Ship the app with the hot main library deferred: every handler
+            // then pays the library load inside the request, the
+            // `init-in-handler` anti-pattern.
+            let root = built.libraries[self.main_library].root;
+            let flipped = built.app.set_import_mode(
+                built.app_module,
+                root,
+                crate::imports::ImportMode::Deferred,
+            );
+            debug_assert!(flipped, "handler module always imports the main library");
+        }
+        Ok(built)
     }
 }
 
@@ -500,6 +563,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.385,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 2.30,
                 e2e_speedup: 2.26,
@@ -533,6 +597,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.217,
             indirect_extra: false,
             extra_handler: false,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.71,
                 e2e_speedup: 1.66,
@@ -566,6 +631,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.217,
             indirect_extra: false,
             extra_handler: false,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.74,
                 e2e_speedup: 1.70,
@@ -599,6 +665,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.205,
             indirect_extra: false,
             extra_handler: false,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.70,
                 e2e_speedup: 1.62,
@@ -632,6 +699,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.109,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.35,
                 e2e_speedup: 1.33,
@@ -666,6 +734,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.061,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.31,
                 e2e_speedup: 1.30,
@@ -699,6 +768,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.0,
             indirect_extra: false,
             extra_handler: false,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.41,
                 e2e_speedup: 1.36,
@@ -732,6 +802,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.432,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.76,
                 e2e_speedup: 1.68,
@@ -765,6 +836,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.441,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.79,
                 e2e_speedup: 1.50,
@@ -798,6 +870,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.502,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 2.01,
                 e2e_speedup: 2.01,
@@ -832,6 +905,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.049,
             indirect_extra: false,
             extra_handler: false,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.17,
                 e2e_speedup: 1.05,
@@ -865,6 +939,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.123,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.21,
                 e2e_speedup: 1.09,
@@ -898,6 +973,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.152,
             indirect_extra: true,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.23,
                 e2e_speedup: 1.10,
@@ -932,6 +1008,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.179,
             indirect_extra: true,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.42,
                 e2e_speedup: 1.19,
@@ -965,6 +1042,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.289,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.27,
                 e2e_speedup: 1.20,
@@ -998,6 +1076,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.333,
             indirect_extra: false,
             extra_handler: true,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.99,
                 e2e_speedup: 1.09,
@@ -1031,6 +1110,7 @@ pub fn catalog() -> Vec<CatalogApp> {
             mem_saveable_frac: 0.217,
             indirect_extra: false,
             extra_handler: false,
+            antipattern: None,
             paper: PaperTargets {
                 init_speedup: 1.38,
                 e2e_speedup: 1.30,
@@ -1078,6 +1158,7 @@ fn trivial_apps() -> Vec<CatalogApp> {
         mem_saveable_frac: 0.0,
         indirect_extra: false,
         extra_handler: false,
+        antipattern: None,
         paper: PaperTargets {
             init_speedup: 1.0,
             e2e_speedup: 1.0,
@@ -1133,8 +1214,89 @@ fn trivial_apps() -> Vec<CatalogApp> {
 }
 
 /// Returns the catalog entry with the given short code.
+///
+/// Resolves the published 22-app catalog first, then the anti-pattern
+/// fixture apps ([`antipattern_apps`], codes `AP-*`).
 pub fn by_code(code: &str) -> Option<CatalogApp> {
-    catalog().into_iter().find(|a| a.code == code)
+    catalog()
+        .into_iter()
+        .find(|a| a.code == code)
+        .or_else(|| antipattern_apps().into_iter().find(|a| a.code == code))
+}
+
+/// Five deliberately mis-structured applications, each bearing at least one
+/// anti-pattern from the analyzer's lint catalog.
+///
+/// They derive from `R-GB` (the smallest above-gate entry, so lint fixtures
+/// stay fast to build) and are kept **out of** [`catalog`] so the published
+/// evaluation set is untouched; [`by_code`] resolves their `AP-*` codes.
+///
+/// | code | planted anti-pattern | expected lints |
+/// |------|----------------------|----------------|
+/// | `AP-MONO`  | monolithic eager init (inherited from R-GB) | `eager-monolithic-init` |
+/// | `AP-TREE`  | 96-module library nobody calls | `oversized-dependency-tree`, `unused-heavy-library` |
+/// | `AP-HEAVY` | compact but expensive unused library | `unused-heavy-library` |
+/// | `AP-CHAT`  | six back-to-back client calls per request | `missing-connection-reuse` |
+/// | `AP-LAZY`  | hot main library shipped deferred | `init-in-handler`, `handler-hot-import` |
+pub fn antipattern_apps() -> Vec<CatalogApp> {
+    let base = |code: &'static str, name: &'static str, seed: Option<AntipatternSeed>| {
+        let mut app = catalog()
+            .into_iter()
+            .find(|a| a.code == "R-GB")
+            .expect("R-GB is in the catalog");
+        app.code = code;
+        app.name = name;
+        app.antipattern = seed;
+        app
+    };
+    let mut lazy = base(
+        "AP-LAZY",
+        "ap-hot-deferral",
+        Some(AntipatternSeed {
+            deferred_hot: true,
+            ..AntipatternSeed::default()
+        }),
+    );
+    // The restore-eager fix must pass the safety verifier, so the deferred
+    // main library carries no side-effectful modules.
+    lazy.frac_side_effectful = 0.0;
+    vec![
+        base("AP-MONO", "ap-monolithic-init", None),
+        base(
+            "AP-TREE",
+            "ap-oversized-tree",
+            Some(AntipatternSeed {
+                unused_lib_modules: 96,
+                unused_lib_init_ms: 120.0,
+                ..AntipatternSeed::default()
+            }),
+        ),
+        base(
+            "AP-HEAVY",
+            "ap-unused-heavy-library",
+            Some(AntipatternSeed {
+                unused_lib_modules: 24,
+                unused_lib_init_ms: 160.0,
+                ..AntipatternSeed::default()
+            }),
+        ),
+        base(
+            "AP-CHAT",
+            "ap-chatty-client",
+            Some(AntipatternSeed {
+                chatty_calls: Some(6),
+                ..AntipatternSeed::default()
+            }),
+        ),
+        lazy,
+    ]
+}
+
+/// Returns a deterministic population of `n` anti-pattern-bearing apps by
+/// cycling [`antipattern_apps`] in order, mirroring [`fleet_population`].
+pub fn antipattern_population(n: usize) -> Vec<CatalogApp> {
+    let base = antipattern_apps();
+    (0..n).map(|i| base[i % base.len()].clone()).collect()
 }
 
 /// Returns a deterministic population of `n` applications for fleet-scale
@@ -1287,5 +1449,114 @@ mod tests {
         let a = by_code("R-GB").unwrap().build(5).unwrap();
         let b = by_code("R-GB").unwrap().build(5).unwrap();
         assert_eq!(a.app, b.app);
+    }
+
+    #[test]
+    fn antipattern_apps_build_and_stay_out_of_the_catalog() {
+        let apps = antipattern_apps();
+        assert_eq!(apps.len(), 5);
+        for app in &apps {
+            let built = app
+                .build(11)
+                .unwrap_or_else(|e| panic!("{} failed to build: {e}", app.code));
+            assert!(!built.app.handlers().is_empty(), "{}", app.code);
+            assert!(by_code(app.code).is_some(), "{}", app.code);
+        }
+        // Seeding never grows the published evaluation set.
+        assert_eq!(catalog().len(), 22);
+        assert!(catalog().iter().all(|a| a.antipattern.is_none()));
+    }
+
+    #[test]
+    fn antipattern_population_cycles_fixture_apps() {
+        let pop = antipattern_population(7);
+        assert_eq!(pop.len(), 7);
+        assert_eq!(pop[5].code, pop[0].code);
+        assert_eq!(pop[6].code, pop[1].code);
+        assert!(antipattern_population(0).is_empty());
+    }
+
+    #[test]
+    fn planted_unused_library_is_never_called() {
+        let built = by_code("AP-HEAVY").unwrap().build(11).unwrap();
+        assert!(built.libraries.contains_key("legacysdk"));
+        let root = built.app.module_by_name("legacysdk").unwrap();
+        for h in built.app.handlers() {
+            assert!(
+                !crate::source::function_uses_module(&built.app, h.function(), root),
+                "{} reaches legacysdk",
+                h.name()
+            );
+        }
+        // But the handler module still imports it eagerly — the anti-pattern.
+        assert!(built
+            .app
+            .imports_of(built.app_module)
+            .iter()
+            .any(|d| d.target == root && d.mode == crate::imports::ImportMode::Global));
+    }
+
+    #[test]
+    fn oversized_fixture_has_at_least_64_planted_modules() {
+        let built = by_code("AP-TREE").unwrap().build(11).unwrap();
+        let lib = &built.libraries["legacysdk"];
+        assert!(built.app.library(lib.id).module_count() >= 64);
+    }
+
+    #[test]
+    fn chatty_fixture_makes_six_consecutive_client_calls() {
+        let built = by_code("AP-CHAT").unwrap().build(11).unwrap();
+        let f = built
+            .app
+            .handlers()
+            .iter()
+            .find(|h| h.name() == "handler")
+            .unwrap()
+            .function();
+        let body = built.app.function(f).body();
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut last = None;
+        for stmt in body {
+            match &stmt.kind {
+                crate::function::StmtKind::Call(site) if last == Some(site.target) => {
+                    run += 1;
+                    best = best.max(run);
+                }
+                crate::function::StmtKind::Call(site) => {
+                    last = Some(site.target);
+                    run = 1;
+                    best = best.max(run);
+                }
+                _ => {
+                    last = None;
+                    run = 0;
+                }
+            }
+        }
+        assert!(best >= 6, "longest same-target call run is {best}");
+    }
+
+    #[test]
+    fn deferred_hot_fixture_ships_with_lazy_main_import() {
+        let app = by_code("AP-LAZY").unwrap();
+        assert_eq!(app.frac_side_effectful, 0.0);
+        let built = app.build(11).unwrap();
+        let root = built.libraries["igraph"].root;
+        let decl = built
+            .app
+            .imports_of(built.app_module)
+            .iter()
+            .find(|d| d.target == root)
+            .expect("handler module imports igraph");
+        assert_eq!(decl.mode, crate::imports::ImportMode::Deferred);
+        // Every entry point statically reaches the deferred library.
+        for h in built.app.handlers() {
+            assert!(
+                crate::source::function_uses_package(&built.app, h.function(), "igraph"),
+                "{} does not reach igraph",
+                h.name()
+            );
+        }
     }
 }

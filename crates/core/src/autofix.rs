@@ -1,0 +1,354 @@
+//! The verifier-gated auto-fix stage.
+//!
+//! [`AutoFixStage`] is an alternate *optimize*-type stage: instead of the
+//! paper's profile-guided deferral it drives the analyzer's anti-pattern
+//! lint catalog ([`slimstart_analyzer::antipattern`]). The analyzer side
+//! already gates every fix four ways (deferral-safety verifier, no new
+//! analysis errors, the fixed lint gone on re-analysis, no modeled
+//! cold-start regression); this stage adds the **in-pipeline speedup
+//! proof**: it deploys the original and the fixed application to the
+//! simulated platform under the run's own workload and keeps the rewrite
+//! only when the measured mean cold-start end-to-end time does not
+//! regress. A regressing fix set rolls back exactly like the
+//! pre-deployment gate does — the baseline artifact ships and the outcome
+//! records why.
+//!
+//! Swap it into the canonical engine in place of the optimizer:
+//!
+//! ```
+//! use slimstart_core::autofix::AutoFixStage;
+//! use slimstart_core::pipeline::PipelineConfig;
+//! use slimstart_core::stage::StageEngine;
+//!
+//! let config = PipelineConfig::default();
+//! let engine =
+//!     StageEngine::canonical(&config).replace("optimize", AutoFixStage::default());
+//! assert!(engine.stage_names().contains(&"auto-fix"));
+//! ```
+
+use std::sync::Arc;
+
+use slimstart_analyzer::antipattern::{auto_fix, AntipatternConfig, AutoFixReport};
+use slimstart_appmodel::Application;
+use slimstart_platform::metrics::{AppMetrics, Speedup};
+use slimstart_platform::platform::Platform;
+use slimstart_workload::generator::generate;
+
+use crate::pipeline::PipelineError;
+use crate::stage::{deployment_platform, PipelineCtx, Stage, StageStatus};
+
+/// What the auto-fix stage did, recorded in `ctx.autofix` and surfaced as
+/// [`PipelineOutcome::autofix`](crate::pipeline::PipelineOutcome::autofix).
+#[derive(Debug, Clone)]
+pub struct AutoFixOutcome {
+    /// The analyzer-side journal: fixes applied, fixes rejected, modeled
+    /// cold-start estimates before/after.
+    pub report: AutoFixReport,
+    /// Measured metrics of the pre-fix application under this run's
+    /// workload; `None` when no fix was applied (nothing to prove).
+    pub before: Option<AppMetrics>,
+    /// Measured metrics of the fixed application.
+    pub after: Option<AppMetrics>,
+    /// Measured speedup of fixed over pre-fix — the in-pipeline proof
+    /// attached to the applied rewrites.
+    pub speedup: Option<Speedup>,
+    /// Whether the measured delta failed the tolerance gate, so the fix
+    /// set was rolled back and the baseline artifact shipped.
+    pub rolled_back: bool,
+}
+
+impl AutoFixOutcome {
+    /// Whether any fix survived both the analyzer gates and the measured
+    /// speedup proof.
+    pub fn fixed_anything(&self) -> bool {
+        !self.report.applied.is_empty() && !self.rolled_back
+    }
+}
+
+/// An alternate optimize-type [`Stage`] that applies verifier-approved
+/// anti-pattern fixes and proves each applied set with a simulated
+/// cold-start measurement. See the module docs.
+#[derive(Debug, Clone)]
+pub struct AutoFixStage {
+    /// Lint thresholds and the runtime cost profile.
+    pub antipattern: AntipatternConfig,
+    /// Maximum collect/apply rounds for the analyzer-side fixpoint loop.
+    pub max_rounds: usize,
+    /// Measured mean-e2e regression tolerance: the fixed application may
+    /// be at most this fraction slower before the stage rolls back.
+    /// Restore-eager fixes move load cost between init and exec without
+    /// changing its total, so a small tolerance absorbs measurement noise
+    /// while still rejecting real regressions.
+    pub e2e_tolerance: f64,
+}
+
+impl Default for AutoFixStage {
+    fn default() -> Self {
+        AutoFixStage {
+            antipattern: AntipatternConfig::default(),
+            max_rounds: 4,
+            e2e_tolerance: 0.005,
+        }
+    }
+}
+
+impl AutoFixStage {
+    /// A stage with custom lint thresholds and defaults elsewhere.
+    pub fn with_config(antipattern: AntipatternConfig) -> Self {
+        AutoFixStage {
+            antipattern,
+            ..AutoFixStage::default()
+        }
+    }
+}
+
+/// Deploys `app` on this run's platform (chaos plan and all) under the
+/// run's workload spec and measures it. The platform seed is `seed ^ 0x4`:
+/// the auto-fix proof gets its own stream, disjoint from the baseline
+/// (`^ 0x1`), profiling (`^ 0x2`) and redeploy (`^ 0x3`) stages, so adding
+/// this stage never perturbs their measurements.
+fn measure(ctx: &PipelineCtx, app: &Arc<Application>) -> Result<AppMetrics, PipelineError> {
+    let invocations = generate(&ctx.spec, app, ctx.config.seed)?;
+    let mut platform = Platform::new(
+        Arc::clone(app),
+        deployment_platform(ctx),
+        ctx.config.seed ^ 0x4,
+    );
+    Ok(AppMetrics::aggregate(platform.run(&invocations)?))
+}
+
+impl Stage for AutoFixStage {
+    fn name(&self) -> &'static str {
+        "auto-fix"
+    }
+
+    fn run(&self, ctx: &mut PipelineCtx) -> Result<StageStatus, PipelineError> {
+        let usage = ctx.utilization.as_ref().map(|u| u.to_observed());
+        let base_app = ctx.final_app();
+        let result = auto_fix(
+            &base_app,
+            usage.as_ref(),
+            &self.antipattern,
+            self.max_rounds,
+        );
+        if result.report.applied.is_empty() {
+            // Nothing passed the analyzer gates; no measurement to prove.
+            ctx.autofix = Some(AutoFixOutcome {
+                report: result.report,
+                before: None,
+                after: None,
+                speedup: None,
+                rolled_back: false,
+            });
+            return Ok(StageStatus::Continue);
+        }
+        let fixed = Arc::new(result.app);
+        let before = measure(ctx, &base_app)?;
+        let after = measure(ctx, &fixed)?;
+        let speedup = Speedup::between(&before, &after);
+        let within_tolerance = after.mean_e2e_ms <= before.mean_e2e_ms * (1.0 + self.e2e_tolerance);
+        if within_tolerance {
+            ctx.candidate = Some(fixed);
+            ctx.redeploy = true;
+        } else {
+            // The measured proof failed: roll back to the baseline artifact
+            // (the same path the pre-deployment gate takes).
+            ctx.optimization = None;
+            ctx.candidate = None;
+            ctx.redeploy = false;
+        }
+        ctx.autofix = Some(AutoFixOutcome {
+            report: result.report,
+            before: Some(before),
+            after: Some(after),
+            speedup: Some(speedup),
+            rolled_back: !within_tolerance,
+        });
+        Ok(StageStatus::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use crate::stage::StageEngine;
+    use slimstart_appmodel::app::AppBuilder;
+    use slimstart_appmodel::function::{Stmt, StmtKind};
+    use slimstart_appmodel::ImportMode;
+    use slimstart_platform::platform::PlatformConfig;
+    use slimstart_simcore::time::SimDuration;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    /// A hand-built monolithic-init app: the handler only ever calls
+    /// `lib.hot`, but `lib.heavy` (100 ms over two modules) loads eagerly
+    /// at every cold start.
+    fn monolithic_app() -> Application {
+        let mut b = AppBuilder::new("mono");
+        let lib = b.add_library("lib");
+        let h = b.add_app_module("handler", ms(1), 16);
+        let root = b.add_library_module("lib", ms(2), 64, false, lib);
+        let hot = b.add_library_module("lib.hot", ms(400), 512, false, lib);
+        let heavy = b.add_library_module("lib.heavy", ms(60), 2048, false, lib);
+        let heavy2 = b.add_library_module("lib.heavy.sub", ms(40), 1024, false, lib);
+        b.add_import(h, root, 2, ImportMode::Global).unwrap();
+        b.add_import(root, hot, 1, ImportMode::Global).unwrap();
+        b.add_import(root, heavy, 2, ImportMode::Global).unwrap();
+        b.add_import(heavy, heavy2, 1, ImportMode::Global).unwrap();
+        let api = b.add_function(
+            "api",
+            hot,
+            3,
+            vec![Stmt {
+                line: 4,
+                kind: StmtKind::Work(ms(3)),
+            }],
+        );
+        let f = b.add_function(
+            "main",
+            h,
+            4,
+            vec![
+                Stmt {
+                    line: 5,
+                    kind: StmtKind::Work(ms(1)),
+                },
+                Stmt {
+                    line: 6,
+                    kind: StmtKind::call(api),
+                },
+            ],
+        );
+        b.add_handler("main", f);
+        b.finish().unwrap()
+    }
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig::default()
+            .with_cold_starts(40)
+            .with_platform(PlatformConfig::default().without_jitter())
+    }
+
+    fn engine(config: &PipelineConfig) -> StageEngine {
+        StageEngine::canonical(config).replace("optimize", AutoFixStage::default())
+    }
+
+    #[test]
+    fn autofix_stage_applies_fix_with_measured_proof() {
+        let app = monolithic_app();
+        let mix = vec![("main".to_string(), 1.0)];
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline
+            .run_with_engine(&engine(pipeline.config()), &app, &mix)
+            .unwrap();
+        let autofix = out.autofix.as_ref().expect("stage records its outcome");
+        assert!(autofix.fixed_anything(), "{:?}", autofix.report);
+        assert!(!autofix.rolled_back);
+        assert!(autofix
+            .report
+            .applied
+            .iter()
+            .any(|a| a.lint_id == "eager-monolithic-init" && a.subject.contains("lib.heavy")));
+        // Every applied fix carries a non-negative modeled saving...
+        assert!(autofix
+            .report
+            .applied
+            .iter()
+            .all(|a| a.estimated_saving_ms >= 0.0));
+        // ...and the applied set carries a non-negative *measured* proof.
+        let speedup = autofix.speedup.as_ref().unwrap();
+        assert!(speedup.init > 1.0, "init speedup = {:.3}", speedup.init);
+        assert!(speedup.e2e > 1.0, "e2e speedup = {:.3}", speedup.e2e);
+        // The fixed artifact shipped: the heavy package is deferred.
+        let root = out.final_app.module_by_name("lib").unwrap();
+        let heavy = out.final_app.module_by_name("lib.heavy").unwrap();
+        let decl = out
+            .final_app
+            .imports_of(root)
+            .iter()
+            .find(|d| d.target == heavy)
+            .copied()
+            .unwrap();
+        assert!(decl.mode.is_deferred());
+        // End-to-end, the pipeline measured the fixed app faster too.
+        assert!(out.speedup.e2e > 1.0);
+    }
+
+    #[test]
+    fn autofix_stage_reanalysis_shows_fixed_lints_gone() {
+        let app = monolithic_app();
+        let mix = vec![("main".to_string(), 1.0)];
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline
+            .run_with_engine(&engine(pipeline.config()), &app, &mix)
+            .unwrap();
+        let autofix = out.autofix.as_ref().unwrap();
+        assert!(autofix.fixed_anything());
+        // Re-running the lint catalog over the shipped artifact reports
+        // zero instances of the fixed lints.
+        let report =
+            slimstart_analyzer::Analyzer::with_antipattern_passes(AntipatternConfig::default())
+                .analyze(&out.final_app, None);
+        for fix in &autofix.report.applied {
+            assert_eq!(
+                report.with_lint(fix.lint_id).count(),
+                0,
+                "{} still fires after auto-fix",
+                fix.lint_id
+            );
+        }
+    }
+
+    #[test]
+    fn clean_app_records_empty_outcome_without_measuring() {
+        // lib.hot is all the app loads and the handler uses it: no lints,
+        // no fixes, no proof runs.
+        let mut b = AppBuilder::new("clean");
+        let lib = b.add_library("lib");
+        let h = b.add_app_module("handler", ms(1), 16);
+        let hot = b.add_library_module("lib", ms(5), 64, false, lib);
+        b.add_import(h, hot, 2, ImportMode::Global).unwrap();
+        let api = b.add_function(
+            "api",
+            hot,
+            3,
+            vec![Stmt {
+                line: 4,
+                kind: StmtKind::Work(ms(2)),
+            }],
+        );
+        let f = b.add_function(
+            "main",
+            h,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::call(api),
+            }],
+        );
+        b.add_handler("main", f);
+        let app = b.finish().unwrap();
+        let mix = vec![("main".to_string(), 1.0)];
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline
+            .run_with_engine(&engine(pipeline.config()), &app, &mix)
+            .unwrap();
+        let autofix = out.autofix.as_ref().unwrap();
+        assert!(autofix.report.applied.is_empty());
+        assert!(autofix.before.is_none() && autofix.after.is_none());
+        assert!(!autofix.rolled_back);
+        assert_eq!(out.speedup.e2e, 1.0, "baseline shipped unchanged");
+    }
+
+    #[test]
+    fn canonical_pipeline_has_no_autofix_outcome() {
+        let app = monolithic_app();
+        let mix = vec![("main".to_string(), 1.0)];
+        let pipeline = Pipeline::new(quick_config());
+        let out = pipeline.run(&app, &mix).unwrap();
+        assert!(out.autofix.is_none());
+    }
+}

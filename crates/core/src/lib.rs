@@ -42,6 +42,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod autofix;
 pub mod cct;
 pub mod collector;
 pub mod config;
@@ -60,6 +61,7 @@ pub mod utilization;
 pub mod wire;
 
 pub use adaptive::{AdaptiveDecision, AdaptiveMonitor};
+pub use autofix::{AutoFixOutcome, AutoFixStage};
 pub use cct::Cct;
 pub use collector::{AsyncCollector, BatchSender, CollectorStats};
 pub use config::{AdaptiveConfig, DetectorConfig, SamplerConfig};

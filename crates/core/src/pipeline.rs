@@ -230,6 +230,10 @@ pub struct PipelineOutcome {
     /// Fault-handling summary: what chaos injected, what the retries
     /// absorbed, and where on the degradation ladder the run landed.
     pub resilience: ResilienceOutcome,
+    /// The anti-pattern auto-fix journal — fixes applied with their
+    /// measured speedup proof, fixes rejected with reasons. `None` unless
+    /// the composition ran an [`AutoFixStage`](crate::autofix::AutoFixStage).
+    pub autofix: Option<crate::autofix::AutoFixOutcome>,
 }
 
 impl PipelineOutcome {
@@ -274,6 +278,7 @@ impl PipelineOutcome {
             speedup: ctx.speedup.ok_or(PipelineError::Incomplete("speedup"))?,
             cct: ctx.cct.ok_or(PipelineError::Incomplete("cct"))?,
             resilience,
+            autofix: ctx.autofix,
         })
     }
 }

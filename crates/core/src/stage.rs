@@ -131,6 +131,9 @@ pub struct PipelineCtx {
     pub optimized: Option<AppMetrics>,
     /// Speedups of the final deployment over baseline ([`MeasureStage`]).
     pub speedup: Option<Speedup>,
+    /// The anti-pattern auto-fix journal, when the composition includes an
+    /// [`AutoFixStage`](crate::autofix::AutoFixStage).
+    pub autofix: Option<crate::autofix::AutoFixOutcome>,
 }
 
 impl PipelineCtx {
@@ -170,6 +173,7 @@ impl PipelineCtx {
             pre_deploy: None,
             optimized: None,
             speedup: None,
+            autofix: None,
         })
     }
 
@@ -224,7 +228,7 @@ pub trait Stage: Send + Sync {
 /// configured platform, plus the run's chaos plan when it is live (the
 /// passthrough plan is not attached, keeping the disabled path identical
 /// to a config that never heard of chaos).
-fn deployment_platform(ctx: &PipelineCtx) -> PlatformConfig {
+pub(crate) fn deployment_platform(ctx: &PipelineCtx) -> PlatformConfig {
     let base = ctx.config.platform.clone();
     if ctx.chaos.is_enabled() {
         base.with_chaos(Arc::clone(&ctx.chaos))

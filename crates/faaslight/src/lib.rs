@@ -23,5 +23,5 @@
 pub mod reachability;
 pub mod strip;
 
-pub use reachability::StaticAnalysis;
+pub use reachability::{handlers_reaching_package, StaticAnalysis};
 pub use strip::{strip_unreachable, StrippedApp};

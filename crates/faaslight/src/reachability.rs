@@ -19,13 +19,26 @@ impl StaticAnalysis {
     /// analysis cannot know which entry points the workload actually uses
     /// (the paper's central observation).
     pub fn analyze(app: &Application) -> StaticAnalysis {
+        let roots: Vec<FunctionId> = app.handlers().iter().map(|h| h.function()).collect();
+        StaticAnalysis::analyze_from(app, &roots)
+    }
+
+    /// Runs the analysis rooted at a single entry function — the
+    /// per-handler view the anti-pattern lints need to ask "does *this*
+    /// entry point reach that package?", which the all-handlers union
+    /// cannot answer.
+    pub fn analyze_entry(app: &Application, entry: FunctionId) -> StaticAnalysis {
+        StaticAnalysis::analyze_from(app, &[entry])
+    }
+
+    /// Runs the analysis from an explicit set of entry functions.
+    pub fn analyze_from(app: &Application, roots: &[FunctionId]) -> StaticAnalysis {
         let call_graph = app.static_call_graph();
         let mut reachable = vec![false; app.functions().len()];
         let mut pinned = vec![false; app.libraries().len()];
         let mut queue: VecDeque<FunctionId> = VecDeque::new();
 
-        for handler in app.handlers() {
-            let f = handler.function();
+        for &f in roots {
             if !reachable[f.index()] {
                 reachable[f.index()] = true;
                 queue.push_back(f);
@@ -78,6 +91,35 @@ impl StaticAnalysis {
     pub fn reachable_count(&self) -> usize {
         self.reachable_functions.iter().filter(|r| **r).count()
     }
+
+    /// Whether any reachable function is defined in — or touches a module
+    /// of — the dotted `package` subtree. Combined with
+    /// [`StaticAnalysis::analyze_entry`] this answers the init-in-handler
+    /// question: an entry point that statically uses a deferred package
+    /// will pay its lazy load inside the request on every fresh container.
+    pub fn uses_package(&self, app: &Application, package: &str) -> bool {
+        self.reachable_functions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r)
+            .any(|(i, _)| {
+                let f = app.function(FunctionId::from_index(i));
+                app.module(f.module()).in_package(package)
+                    || f.touched_modules()
+                        .iter()
+                        .any(|m| app.module(*m).in_package(package))
+            })
+    }
+}
+
+/// How many of `app`'s handlers statically reach the dotted `package` —
+/// the call-graph query behind the init-in-handler lint (all handlers
+/// reaching a deferred package means its lazy load is on every cold path).
+pub fn handlers_reaching_package(app: &Application, package: &str) -> usize {
+    app.handlers()
+        .iter()
+        .filter(|h| StaticAnalysis::analyze_entry(app, h.function()).uses_package(app, package))
+        .count()
 }
 
 #[cfg(test)]
@@ -173,5 +215,32 @@ mod tests {
         let a = StaticAnalysis::analyze(&app);
         assert!(a.is_pinned(LibraryId::from_index(1))); // ext
         assert!(!a.is_pinned(LibraryId::from_index(0))); // lib (direct calls only)
+    }
+
+    #[test]
+    fn per_entry_analysis_sees_only_that_handlers_world() {
+        let app = app();
+        let main = app.handlers()[0].function();
+        let admin = app.handlers()[1].function();
+        let from_main = StaticAnalysis::analyze_entry(&app, main);
+        let from_admin = StaticAnalysis::analyze_entry(&app, admin);
+        assert!(from_main.uses_package(&app, "lib.hot"));
+        assert!(!from_main.uses_package(&app, "lib.wdead"));
+        assert!(from_admin.uses_package(&app, "lib.wdead"));
+        assert!(!from_admin.uses_package(&app, "ext"));
+        // The union (analyze) reaches both.
+        let union = StaticAnalysis::analyze(&app);
+        assert!(union.uses_package(&app, "lib.hot"));
+        assert!(union.uses_package(&app, "lib.wdead"));
+        assert!(!union.uses_package(&app, "lib.sdead"));
+    }
+
+    #[test]
+    fn handlers_reaching_package_counts_entries() {
+        let app = app();
+        assert_eq!(handlers_reaching_package(&app, "lib.hot"), 1);
+        assert_eq!(handlers_reaching_package(&app, "lib.wdead"), 1);
+        assert_eq!(handlers_reaching_package(&app, "lib"), 2);
+        assert_eq!(handlers_reaching_package(&app, "lib.sdead"), 0);
     }
 }

@@ -10,6 +10,18 @@
 //!     --async-collector                     ship profiles over the channel
 //! slimstart lint <CODE> [--json]            static-analysis diagnostics
 //!     --seed <S> / --cold-starts <N>        profiling run parameters
+//!     --runtime <python|nodejs|java>        cost profile used to rank the
+//!                                           anti-pattern lints (default:
+//!                                           python)
+//!     --deny warnings                       exit 1 on warnings, not just
+//!                                           errors
+//!     --fix                                 apply verifier-approved fixes
+//!                                           through the pipeline's auto-fix
+//!                                           stage and report the measured
+//!                                           cold-start delta
+//! slimstart lint --passes                   list analysis passes + lint ids
+//! slimstart lint --explain <LINT-ID>        rationale, detection rule and
+//!                                           suggested refactoring of a lint
 //! slimstart source <CODE> <MODULE>          rendered source of a module
 //! slimstart graph <CODE> [--optimized]      import graph as Graphviz DOT
 //! slimstart trace [--seed <S>]              production-trace statistics
@@ -42,16 +54,23 @@
 //! --json` reproduces byte-for-byte across runs and thread counts.
 //!
 //! `lint` exits 1 when any error-severity diagnostic is reported and 0
-//! otherwise (warnings and infos alone do not fail the build).
+//! otherwise (warnings and infos alone do not fail the build). With
+//! `--deny warnings` the warning threshold also fails the build — CI runs
+//! this over the catalog's clean fixture apps to keep them lint-free. With
+//! `--fix`, the exit code reflects the *post-fix* analysis.
 
 use std::process::ExitCode;
 
-use slimstart::analyzer::Analyzer;
-use slimstart::appmodel::catalog::{by_code, catalog};
+use slimstart::analyzer::{
+    lint_catalog, lint_info, AnalysisReport, Analyzer, AntipatternConfig, RuntimeProfile,
+};
+use slimstart::appmodel::catalog::{by_code, catalog, CatalogApp};
 use slimstart::appmodel::source::render_module;
+use slimstart::appmodel::Application;
 use slimstart::core::export::outcome_to_json;
 use slimstart::core::pipeline::{Pipeline, PipelineConfig};
 use slimstart::core::report::render;
+use slimstart::core::{AutoFixStage, StageEngine};
 use slimstart::fleet::{FleetConfig, FleetOrchestrator};
 use slimstart::platform::chaos::ChaosConfig;
 use slimstart::workload::trace::{ProductionTrace, TraceConfig};
@@ -101,7 +120,9 @@ fn print_help() {
 USAGE:
     slimstart catalog
     slimstart run <CODE> [--cold-starts N] [--seed S] [--json] [--iterate R] [--async-collector]
-    slimstart lint <CODE> [--json] [--seed S] [--cold-starts N]
+    slimstart lint <CODE> [--json] [--seed S] [--cold-starts N] [--runtime R] [--deny warnings] [--fix]
+    slimstart lint --passes
+    slimstart lint --explain <LINT-ID>
     slimstart source <CODE> <MODULE>
     slimstart graph <CODE> [--optimized] [--seed S]
     slimstart trace [--seed S]
@@ -240,37 +261,153 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
-    let code = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
-        .ok_or("usage: slimstart lint <CODE> [--json]")?;
+    if args.iter().any(|a| a == "--passes") {
+        println!("{:<28} {:<28} {:<8}", "LINT ID", "PASS", "DEFAULT");
+        for lint in lint_catalog() {
+            println!(
+                "{:<28} {:<28} {:<8}",
+                lint.id, lint.pass, lint.default_severity
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(id) = flag_value_str(args, "--explain")? {
+        let info = lint_info(&id).ok_or_else(|| {
+            format!("unknown lint id `{id}` (list them with `slimstart lint --passes`)")
+        })?;
+        println!(
+            "{}  (pass: {}, default severity: {})",
+            info.id, info.pass, info.default_severity
+        );
+        println!("\nwhy it hurts cold starts:\n  {}", info.rationale);
+        println!("\nhow it is detected:\n  {}", info.detection);
+        println!("\nsuggested refactoring:\n  {}", info.refactoring);
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let code = args.first().filter(|a| !a.starts_with("--")).ok_or(
+        "usage: slimstart lint <CODE> [--fix] [--deny warnings] [--json] \
+         | --passes | --explain <LINT-ID>",
+    )?;
     let entry = by_code(code).ok_or_else(|| format!("unknown catalog code `{code}`"))?;
     let seed = flag_value(args, "--seed")?.unwrap_or(2025);
     let cold_starts = flag_value(args, "--cold-starts")?.unwrap_or(500) as usize;
     let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = match flag_value_str(args, "--deny")? {
+        None => false,
+        Some(v) if v == "warnings" => true,
+        Some(v) => return Err(format!("--deny supports only `warnings`, got `{v}`")),
+    };
+    let runtime = match flag_value_str(args, "--runtime")? {
+        None => RuntimeProfile::python(),
+        Some(name) => RuntimeProfile::by_name(&name)
+            .ok_or_else(|| format!("unknown runtime `{name}` (python, nodejs, java)"))?,
+    };
+    let lint_config = AntipatternConfig::default().with_runtime(runtime);
 
     let built = entry.build(seed).map_err(|e| e.to_string())?;
     let config = PipelineConfig::default()
         .with_cold_starts(cold_starts)
         .with_seed(seed);
-    // One profiling deployment gives the over-approximation auditor its
-    // observed-usage view; the other passes are purely static.
+
+    if args.iter().any(|a| a == "--fix") {
+        if json {
+            return Err("--fix prints a human-readable fix journal; drop --json".to_string());
+        }
+        return cmd_lint_fix(&entry, &built.app, config, lint_config, deny_warnings);
+    }
+
+    // One profiling deployment gives the usage-driven passes (the
+    // over-approximation auditor, hot-import detection) their observed view;
+    // the other passes are purely static.
     let utilization = Pipeline::new(config)
         .profile_usage(&built.app, &entry.workload_weights())
         .map_err(|e| e.to_string())?;
     let observed = utilization.to_observed();
-    let report = Analyzer::with_default_passes().analyze(&built.app, Some(&observed));
+    let report =
+        Analyzer::with_antipattern_passes(lint_config).analyze(&built.app, Some(&observed));
 
     if json {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_text());
     }
-    Ok(if report.has_errors() {
+    Ok(lint_exit(&report, deny_warnings))
+}
+
+fn lint_exit(report: &AnalysisReport, deny_warnings: bool) -> ExitCode {
+    if report.has_errors() || (deny_warnings && report.warning_count() > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
-    })
+    }
+}
+
+/// `slimstart lint <CODE> --fix`: run the full pipeline with the
+/// verifier-gated [`AutoFixStage`] in the optimize slot, report what was
+/// applied/refused with the measured cold-start delta, then re-lint the
+/// deployed application to show the fixed lints are gone.
+fn cmd_lint_fix(
+    entry: &CatalogApp,
+    app: &Application,
+    config: PipelineConfig,
+    lint_config: AntipatternConfig,
+    deny_warnings: bool,
+) -> Result<ExitCode, String> {
+    let engine = StageEngine::canonical(&config)
+        .replace("optimize", AutoFixStage::with_config(lint_config.clone()));
+    let outcome = Pipeline::new(config)
+        .run_with_engine(&engine, app, &entry.workload_weights())
+        .map_err(|e| e.to_string())?;
+    let autofix = outcome
+        .autofix
+        .as_ref()
+        .ok_or("the auto-fix stage recorded no outcome")?;
+    let report = &autofix.report;
+
+    println!(
+        "auto-fix: {} applied, {} rejected in {} round(s){}",
+        report.applied.len(),
+        report.rejected.len(),
+        report.rounds,
+        if report.converged {
+            ""
+        } else {
+            " (round budget exhausted)"
+        }
+    );
+    for fix in &report.applied {
+        println!(
+            "  fixed {:<26} {}  (modeled -{:.1} ms)",
+            fix.lint_id, fix.subject, fix.estimated_saving_ms
+        );
+    }
+    for fix in &report.rejected {
+        println!(
+            "  kept  {:<26} {}  ({})",
+            fix.lint_id, fix.subject, fix.reason
+        );
+    }
+    if autofix.rolled_back {
+        println!("cold-start regression in the measurement run — all fixes rolled back");
+    } else if let (Some(before), Some(after), Some(speedup)) =
+        (&autofix.before, &autofix.after, &autofix.speedup)
+    {
+        println!(
+            "measured : init {:.1} -> {:.1} ms | e2e {:.1} -> {:.1} ms | speedup init {:.2}x e2e {:.2}x",
+            before.mean_init_ms,
+            after.mean_init_ms,
+            before.mean_e2e_ms,
+            after.mean_e2e_ms,
+            speedup.init,
+            speedup.e2e
+        );
+    }
+
+    let post = Analyzer::with_antipattern_passes(lint_config).analyze(&outcome.final_app, None);
+    println!("\npost-fix analysis:");
+    print!("{}", post.render_text());
+    Ok(lint_exit(&post, deny_warnings))
 }
 
 fn cmd_source(args: &[String]) -> Result<(), String> {
