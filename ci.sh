@@ -13,11 +13,14 @@ echo "==> cargo test -q"
 cargo test -q
 
 # The conformance suites guard the chaos-off byte-identity contract, the
-# fault-injection invariants and the anti-pattern lint/auto-fix contract;
-# run them by name so a test-harness filter or workspace reshuffle can
-# never silently drop them from the gate.
-echo "==> cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints"
-cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints
+# fault-injection invariants, the anti-pattern lint/auto-fix contract, the
+# fleet scale-out determinism cells and the streaming-vs-retained oracle
+# differential; run them by name so a test-harness filter or workspace
+# reshuffle can never silently drop them from the gate.
+echo "==> cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints" \
+     "--test fleet_determinism --test fleet_streaming_equivalence"
+cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints \
+    --test fleet_determinism --test fleet_streaming_equivalence
 
 # The catalog's five below-gate fixture apps must stay lint-clean at the
 # warning level: `--deny warnings` exits 1 on any warning-or-worse

@@ -1310,6 +1310,19 @@ pub fn fleet_population(n: usize) -> Vec<CatalogApp> {
     (0..n).map(|i| base[i % base.len()].clone()).collect()
 }
 
+/// Returns a deterministic population of `n` *lightweight* applications
+/// by cycling the five single-library, below-gate fixture apps (`R-UL`,
+/// `R-TN`, `FWB-FLT`, `FWB-JSN`, `FL-HW`).
+///
+/// Each entry simulates in well under a millisecond, so 10k-app fleets
+/// finish in seconds — this is the population behind the orchestrator
+/// scaling bench and the scale-out determinism suite, where per-app cost
+/// would otherwise drown the scheduling behavior under test.
+pub fn light_population(n: usize) -> Vec<CatalogApp> {
+    let base = trivial_apps();
+    (0..n).map(|i| base[i % base.len()].clone()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1327,6 +1340,17 @@ mod tests {
         assert_eq!(pop[22].code, catalog()[0].code);
         assert_eq!(pop[23].code, catalog()[1].code);
         assert!(fleet_population(0).is_empty());
+    }
+
+    #[test]
+    fn light_population_cycles_the_trivial_fixtures() {
+        let pop = light_population(12);
+        assert_eq!(pop.len(), 12);
+        assert_eq!(pop[0].code, "R-UL");
+        assert_eq!(pop[4].code, "FL-HW");
+        assert_eq!(pop[5].code, "R-UL");
+        assert!(pop.iter().all(|a| a.n_libs == 1));
+        assert!(light_population(0).is_empty());
     }
 
     #[test]

@@ -25,9 +25,15 @@
 //!   retained [`ReferenceEventQueue`](slimstart_simcore::event::reference::ReferenceEventQueue)
 //!   binary heap vs the hierarchical timing-wheel
 //!   [`EventQueue`](slimstart_simcore::event::EventQueue).
-//! * **fleet** — end-to-end throughput: a small fleet run swept over
-//!   `{1, max}` worker threads, reporting applications optimized per
-//!   wall-clock second and the parallel scaling ratio.
+//! * **fleet** — end-to-end throughput: a 10k-app lightweight fleet
+//!   (240 apps in smoke mode) swept over ascending worker-thread counts,
+//!   reporting applications optimized per wall-clock second, the peak
+//!   resident aggregate size of the streaming report path, the parallel
+//!   scaling ratio, and whether the serialized `FleetReport` stayed
+//!   byte-identical across every swept thread count — chaos off and on.
+//!   Each app pays a recorded per-app stall (`stall_us`, the modeled
+//!   collector/deploy round-trip) that workers overlap, so the sweep
+//!   measures scheduler scaling honestly even on a single-core host.
 //!
 //! The numbers land in a hand-rolled JSON document (same writer idiom as the
 //! fleet report) that `ci.sh` round-trips through [`validate_json`] in
@@ -38,13 +44,14 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-use slimstart_appmodel::catalog::by_code;
+use slimstart_appmodel::catalog::{by_code, light_population};
 use slimstart_appmodel::Application;
 use slimstart_core::cct::reference::ReferenceCct;
 use slimstart_core::profile::SampleRecord;
 use slimstart_core::sampler::CaptureCache;
 use slimstart_core::Cct;
 use slimstart_fleet::{FleetConfig, FleetOrchestrator};
+use slimstart_platform::chaos::ChaosConfig;
 use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::process::Process;
 use slimstart_pyrt::stack::{CallStack, Frame, FrameKind};
@@ -62,8 +69,12 @@ pub struct BenchConfig {
     pub smoke: bool,
     /// Seed for the synthetic sample streams and the fleet run.
     pub seed: u64,
-    /// Fleet worker threads.
+    /// Fleet worker threads (the sweep always starts at 1 and ends at
+    /// the larger of this and the built-in sweep ceiling).
     pub threads: usize,
+    /// Overrides the fleet size (`--fleet-apps`); `None` uses the mode
+    /// default — 10,000 apps full, 240 in smoke.
+    pub fleet_apps: Option<usize>,
 }
 
 impl Default for BenchConfig {
@@ -74,6 +85,7 @@ impl Default for BenchConfig {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            fleet_apps: None,
         }
     }
 }
@@ -107,6 +119,32 @@ pub struct FleetPoint {
     pub threads: usize,
     /// Applications optimized per wall-clock second.
     pub apps_per_second: f64,
+    /// Wall-clock of the run, seconds.
+    pub wall_s: f64,
+    /// Peak resident size of the streaming aggregation state, bytes.
+    pub aggregate_peak_bytes: usize,
+}
+
+/// The fleet section of the report: a thread sweep over the
+/// work-stealing orchestrator plus its determinism proof.
+#[derive(Debug, Clone)]
+pub struct FleetBench {
+    /// Fleet size per sweep point.
+    pub apps: usize,
+    /// Cold starts per measurement run.
+    pub cold_starts: usize,
+    /// Per-app stall the workers overlap (the modeled collector/deploy
+    /// round-trip), microseconds. Recorded so the sweep's scaling claim
+    /// is honest about what the threads are overlapping.
+    pub stall_us: u64,
+    /// Throughput at each swept thread count, ascending.
+    pub sweep: Vec<FleetPoint>,
+    /// Whether the serialized `FleetReport` was byte-identical across
+    /// every swept thread count.
+    pub reports_identical: bool,
+    /// Same check with fault injection enabled (run at the sweep's
+    /// extremes, stall-free).
+    pub chaos_reports_identical: bool,
 }
 
 /// The harness result.
@@ -128,10 +166,8 @@ pub struct BenchReport {
     /// Event-queue schedule/drain workload (reference heap vs timing
     /// wheel).
     pub event_queue: Comparison,
-    /// Fleet size used for the throughput sweep.
-    pub fleet_apps: usize,
-    /// Fleet throughput at each swept thread count (ascending; `{1, max}`).
-    pub fleet_sweep: Vec<FleetPoint>,
+    /// The fleet thread sweep and its byte-identity checks.
+    pub fleet: FleetBench,
 }
 
 /// Times `op` over `iters` iterations (after one warm-up call) and returns
@@ -377,33 +413,76 @@ fn bench_event_queue(iters: u64, seed: u64) -> Comparison {
     }
 }
 
-fn bench_fleet_at(config: &BenchConfig, threads: usize) -> FleetPoint {
-    let (apps, cold_starts) = if config.smoke { (2, 10) } else { (8, 120) };
-    let fleet = FleetConfig::default()
+/// Sweeps the work-stealing fleet orchestrator over ascending thread
+/// counts at scale, on the lightweight population (`light_population`) so
+/// scheduling — not per-app simulation cost — dominates the signal.
+///
+/// Every app pays `stall_us` of real sleep (the modeled collector/deploy
+/// round-trip); workers overlap those stalls, which is exactly the
+/// concurrency a production fleet controller exploits, and the recorded
+/// `stall_us` keeps the scaling claim honest. Alongside throughput, the
+/// sweep proves the determinism contract: the serialized `FleetReport`
+/// must be byte-identical at every thread count, and again with fault
+/// injection enabled at the sweep's extremes.
+fn bench_fleet(config: &BenchConfig) -> FleetBench {
+    let (default_apps, cold_starts, stall_us): (usize, usize, u64) = if config.smoke {
+        (240, 2, 200)
+    } else {
+        (10_000, 2, 4_000)
+    };
+    let thread_sweep: &[usize] = if config.smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let apps = config.fleet_apps.unwrap_or(default_apps);
+    let population = light_population(apps);
+    let base = FleetConfig::default()
         .with_apps(apps)
-        .with_threads(threads)
         .with_seed(config.seed)
-        .with_cold_starts(cold_starts);
-    let (_, stats) = FleetOrchestrator::new(fleet)
-        .run()
-        .expect("fleet run succeeds");
-    FleetPoint {
-        threads: stats.threads,
-        apps_per_second: stats.apps_per_second,
-    }
-}
+        .with_cold_starts(cold_starts)
+        .with_runs(1);
 
-/// Sweeps the fleet over `{1, max}` worker threads (deduplicated when the
-/// host has a single core), so the report always exposes the scaling
-/// ratio rather than a single-thread blind spot.
-fn bench_fleet_sweep(config: &BenchConfig) -> (usize, Vec<FleetPoint>) {
-    let apps = if config.smoke { 2 } else { 8 };
-    let max = config.threads.max(1);
-    let mut sweep = vec![bench_fleet_at(config, 1)];
-    if max > 1 {
-        sweep.push(bench_fleet_at(config, max));
+    let mut sweep = Vec::with_capacity(thread_sweep.len());
+    let mut jsons: Vec<String> = Vec::with_capacity(thread_sweep.len());
+    for &threads in thread_sweep {
+        let fleet = base
+            .clone()
+            .with_threads(threads)
+            .with_stall_micros(stall_us);
+        let (report, stats) = FleetOrchestrator::new(fleet)
+            .run_population(&population)
+            .expect("fleet run succeeds");
+        jsons.push(report.to_json());
+        sweep.push(FleetPoint {
+            threads: stats.threads,
+            apps_per_second: stats.apps_per_second,
+            wall_s: stats.wall_clock.as_secs_f64(),
+            aggregate_peak_bytes: stats.aggregate_peak_bytes,
+        });
     }
-    (apps, sweep)
+    let reports_identical = jsons.windows(2).all(|w| w[0] == w[1]);
+
+    // Chaos byte-identity at the sweep's extremes. No stall: this pair
+    // proves determinism, not throughput, so it runs at pure CPU speed.
+    let lo = *thread_sweep.first().expect("sweep is non-empty");
+    let hi = *thread_sweep.last().expect("sweep is non-empty");
+    let chaos_json = |threads: usize| {
+        let fleet = base
+            .clone()
+            .with_threads(threads)
+            .with_chaos(ChaosConfig::uniform(0.2));
+        let (report, _) = FleetOrchestrator::new(fleet)
+            .run_population(&population)
+            .expect("chaos fleet run succeeds");
+        report.to_json()
+    };
+    let chaos_reports_identical = chaos_json(lo) == chaos_json(hi);
+
+    FleetBench {
+        apps,
+        cold_starts,
+        stall_us,
+        sweep,
+        reports_identical,
+        chaos_reports_identical,
+    }
 }
 
 /// Runs every measurement and assembles the report.
@@ -419,7 +498,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
     let cold_start = bench_cold_start(cold_iters, config.seed);
     let snapshot_cold_start = bench_snapshot_cold_start(snap_iters, config.seed);
     let event_queue = bench_event_queue(event_iters, config.seed);
-    let (fleet_apps, fleet_sweep) = bench_fleet_sweep(config);
+    let fleet = bench_fleet(config);
     BenchReport {
         smoke: config.smoke,
         seed: config.seed,
@@ -428,8 +507,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         cold_start,
         snapshot_cold_start,
         event_queue,
-        fleet_apps,
-        fleet_sweep,
+        fleet,
     }
 }
 
@@ -467,9 +545,9 @@ impl BenchReport {
 
     /// Parallel scaling ratio of the fleet sweep: throughput at the highest
     /// swept thread count over throughput at one thread (1.0 on a
-    /// single-core sweep).
+    /// single-point sweep).
     pub fn fleet_scaling(&self) -> f64 {
-        match (self.fleet_sweep.first(), self.fleet_sweep.last()) {
+        match (self.fleet.sweep.first(), self.fleet.sweep.last()) {
             (Some(first), Some(last)) if first.apps_per_second > 0.0 => {
                 last.apps_per_second / first.apps_per_second
             }
@@ -477,18 +555,24 @@ impl BenchReport {
         }
     }
 
-    /// The CI perf gate: every `current` implementation must stay within
-    /// `3x` of its own in-run legacy baseline. Racing both variants in the
-    /// same process makes the gate immune to machine speed — a failure
-    /// means the current path itself regressed, not that CI got a slow
-    /// runner.
+    /// The CI perf gate, covering the micro-benchmarks and the fleet
+    /// section:
+    ///
+    /// * every `current` implementation must stay within `3x` of its own
+    ///   in-run legacy baseline — racing both variants in the same
+    ///   process makes the gate immune to machine speed;
+    /// * the fleet report must be byte-identical across every swept
+    ///   thread count, chaos off and on — the determinism contract is a
+    ///   hard failure, never noise;
+    /// * the fleet sweep must show parallel scaling: at least 1.05x in
+    ///   smoke mode (tiny fleets, noisy runners) and 2.0x at the full
+    ///   sweep's 4+ threads.
     ///
     /// # Errors
     ///
-    /// Returns a message naming every comparison whose `current_ns` exceeds
-    /// `3 * legacy_ns`.
+    /// Returns a message naming every violated gate.
     pub fn check_regressions(&self) -> Result<(), String> {
-        let offenders: Vec<String> = self
+        let mut offenders: Vec<String> = self
             .comparisons()
             .iter()
             .filter(|(_, c)| c.current_ns > 3.0 * c.legacy_ns)
@@ -499,6 +583,19 @@ impl BenchReport {
                 )
             })
             .collect();
+        if !self.fleet.reports_identical {
+            offenders.push("fleet: report JSON differs across swept thread counts".to_string());
+        }
+        if !self.fleet.chaos_reports_identical {
+            offenders.push("fleet: chaos report JSON differs across thread counts".to_string());
+        }
+        let scaling_floor = if self.smoke { 1.05 } else { 2.0 };
+        let scaling = self.fleet_scaling();
+        if self.fleet.sweep.len() > 1 && scaling < scaling_floor {
+            offenders.push(format!(
+                "fleet: scaling {scaling:.2}x below the {scaling_floor:.2}x floor"
+            ));
+        }
         if offenders.is_empty() {
             Ok(())
         } else {
@@ -512,9 +609,9 @@ impl BenchReport {
     /// Serializes the report. Stable key order; no external serializer.
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
-        let mut out = String::with_capacity(1536);
+        let mut out = String::with_capacity(2048);
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v2\",");
+        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v3\",");
         let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         for (key, c) in self.comparisons() {
@@ -523,16 +620,18 @@ impl BenchReport {
         }
         let _ = writeln!(
             out,
-            "  \"fleet\": {{\n    \"apps\": {},\n    \"sweep\": [",
-            self.fleet_apps
+            "  \"fleet\": {{\n    \"apps\": {},\n    \"cold_starts\": {},\n    \"stall_us\": {},\n    \"sweep\": [",
+            self.fleet.apps, self.fleet.cold_starts, self.fleet.stall_us
         );
-        for (i, point) in self.fleet_sweep.iter().enumerate() {
+        for (i, point) in self.fleet.sweep.iter().enumerate() {
             let _ = write!(
                 out,
-                "      {{\"threads\": {}, \"apps_per_second\": {}}}{}",
+                "      {{\"threads\": {}, \"apps_per_second\": {}, \"wall_s\": {}, \"aggregate_peak_bytes\": {}}}{}",
                 point.threads,
                 num(point.apps_per_second),
-                if i + 1 < self.fleet_sweep.len() {
+                num(point.wall_s),
+                point.aggregate_peak_bytes,
+                if i + 1 < self.fleet.sweep.len() {
                     ",\n"
                 } else {
                     "\n"
@@ -541,8 +640,10 @@ impl BenchReport {
         }
         let _ = write!(
             out,
-            "    ],\n    \"scaling\": {}\n  }}\n",
-            num(self.fleet_scaling())
+            "    ],\n    \"scaling\": {},\n    \"reports_identical\": {},\n    \"chaos_reports_identical\": {}\n  }}\n",
+            num(self.fleet_scaling()),
+            self.fleet.reports_identical,
+            self.fleet.chaos_reports_identical
         );
         out.push_str("}\n");
         out
@@ -573,18 +674,26 @@ impl BenchReport {
                 c.speedup()
             );
         }
-        for point in &self.fleet_sweep {
+        for point in &self.fleet.sweep {
             let _ = writeln!(
                 out,
-                "  {:<16} {} apps on {} thread(s): {:.2} apps/s",
-                "fleet", self.fleet_apps, point.threads, point.apps_per_second
+                "  {:<16} {} apps on {} thread(s): {:>8.2} apps/s ({:.2}s wall, peak aggregate {} B)",
+                "fleet",
+                self.fleet.apps,
+                point.threads,
+                point.apps_per_second,
+                point.wall_s,
+                point.aggregate_peak_bytes
             );
         }
         let _ = writeln!(
             out,
-            "  {:<16} {:.2}x across the thread sweep",
+            "  {:<16} {:.2}x across the thread sweep ({} µs/app stall); reports identical: {}, chaos: {}",
             "fleet scaling",
-            self.fleet_scaling()
+            self.fleet_scaling(),
+            self.fleet.stall_us,
+            self.fleet.reports_identical,
+            self.fleet.chaos_reports_identical
         );
         out
     }
@@ -733,41 +842,69 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String>
 mod tests {
     use super::*;
 
-    #[test]
-    fn smoke_report_is_well_formed_json() {
-        let config = BenchConfig {
+    fn smoke_config(threads: usize) -> BenchConfig {
+        BenchConfig {
             smoke: true,
             seed: 7,
-            threads: 2,
-        };
-        let report = run(&config);
+            threads,
+            // Keep unit tests brisk: the CI smoke default of 240 apps
+            // runs in the bench binary, not here.
+            fleet_apps: Some(60),
+        }
+    }
+
+    #[test]
+    fn smoke_report_is_well_formed_json() {
+        let report = run(&smoke_config(2));
         validate_json(&report.to_json()).expect("report JSON is well-formed");
         assert!(report.sampler.legacy_ns > 0.0);
         assert!(report.cct_merge.current_ns > 0.0);
         assert!(report.snapshot_cold_start.current_ns > 0.0);
         assert!(report.event_queue.current_ns > 0.0);
-        assert!(!report.fleet_sweep.is_empty());
-        assert!(report.fleet_sweep.iter().all(|p| p.apps_per_second > 0.0));
+        assert!(!report.fleet.sweep.is_empty());
+        assert!(report.fleet.sweep.iter().all(|p| p.apps_per_second > 0.0));
         assert!(report.fleet_scaling() > 0.0);
-        assert!(report
-            .to_json()
-            .contains("\"schema\": \"slimstart-bench-hotpath/v2\""));
+        assert!(report.fleet.reports_identical);
+        assert!(report.fleet.chaos_reports_identical);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"slimstart-bench-hotpath/v3\""));
+        assert!(json.contains("\"stall_us\": 200"));
+        assert!(json.contains("\"reports_identical\": true"));
+        assert!(json.contains("\"chaos_reports_identical\": true"));
+        assert!(json.contains("\"aggregate_peak_bytes\": "));
     }
 
     #[test]
     fn regression_gate_trips_on_slow_current() {
-        let config = BenchConfig {
-            smoke: true,
-            seed: 7,
-            threads: 1,
-        };
-        let mut report = run(&config);
+        let mut report = run(&smoke_config(1));
         report
             .check_regressions()
             .expect("fresh run passes the gate");
         report.event_queue.current_ns = report.event_queue.legacy_ns * 4.0;
         let err = report.check_regressions().unwrap_err();
         assert!(err.contains("event_queue"), "{err}");
+    }
+
+    #[test]
+    fn regression_gate_trips_on_broken_fleet_determinism() {
+        let mut report = run(&smoke_config(1));
+        report.fleet.reports_identical = false;
+        report.fleet.chaos_reports_identical = false;
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("differs across swept thread counts"), "{err}");
+        assert!(err.contains("chaos report JSON differs"), "{err}");
+    }
+
+    #[test]
+    fn regression_gate_trips_on_lost_scaling() {
+        let mut report = run(&smoke_config(2));
+        for point in &mut report.fleet.sweep {
+            point.apps_per_second = 10.0; // flat sweep: no parallel win
+        }
+        if report.fleet.sweep.len() > 1 {
+            let err = report.check_regressions().unwrap_err();
+            assert!(err.contains("below the"), "{err}");
+        }
     }
 
     #[test]

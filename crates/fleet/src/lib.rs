@@ -12,18 +12,23 @@
 //!
 //! * **Deterministic fan-out.** Every per-app seed is split from the one
 //!   experiment seed *sequentially, up front* (see
-//!   [`orchestrator::FleetOrchestrator`]), before any worker starts. Work
-//!   distribution only decides *when* an app runs, never *with which
-//!   randomness*, and results land in index-addressed slots — so the
-//!   serialized [`FleetReport`] is byte-identical for `--threads 1` and
-//!   `--threads 8`.
-//! * **Aggregation.** Per-app speedups, fleet-wide percentiles via
-//!   [`slimstart_simcore::stats`], an analyzer-findings rollup, and
-//!   wall-clock throughput (reported separately from the deterministic
-//!   JSON, since wall-clock is inherently nondeterministic).
+//!   [`orchestrator::FleetOrchestrator`]), before any worker starts. The
+//!   work-stealing pool (chunked queue over the vendored crossbeam
+//!   deques) only decides *when* an app runs, never *with which
+//!   randomness* — so the serialized [`FleetReport`] is byte-identical
+//!   for `--threads 1` and `--threads 8`.
+//! * **Streaming aggregation.** Each finished app folds into a
+//!   constant-memory [`report::FleetAggregator`] (fixed-bin histograms,
+//!   fixed-point sums, a capped detail window); chunk partials merge in
+//!   index order, so 10k-app fleets never retain a per-app record
+//!   vector. Wall-clock throughput is reported separately from the
+//!   deterministic JSON, since wall-clock is inherently nondeterministic.
 
 pub mod orchestrator;
 pub mod report;
 
-pub use orchestrator::{FleetConfig, FleetError, FleetOrchestrator, FleetRunStats};
-pub use report::{AppChaosRecord, AppRecord, FleetChaosSummary, FleetReport, SpeedupDistribution};
+pub use orchestrator::{FleetConfig, FleetError, FleetOrchestrator, FleetRunStats, StallHook};
+pub use report::{
+    AppChaosRecord, AppRecord, FixedHistogram, FleetAggregator, FleetChaosSummary, FleetReport,
+    FleetSummary, SpeedupDistribution,
+};

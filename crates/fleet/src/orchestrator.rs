@@ -1,28 +1,41 @@
 //! The parallel fleet orchestrator.
 //!
-//! Fans a population of applications out across a pool of worker threads,
-//! running the full SLIMSTART pipeline for each. Determinism discipline:
+//! Fans a population of applications out across a pool of worker threads
+//! via a chunked work-stealing scheduler, running the full SLIMSTART
+//! pipeline for each and folding finished apps into a streaming
+//! [`FleetAggregator`]. Determinism discipline:
 //!
 //! 1. **Seeds first.** All per-app seeds are split from the experiment
 //!    seed *sequentially, before any worker starts*
 //!    ([`slimstart_simcore::SimRng::split_seed`]), so seed assignment is a
-//!    pure function of (experiment seed, population index).
-//! 2. **Index-addressed results.** Workers pull job indices from a shared
-//!    counter — which app runs on which thread (and when) is racy and
-//!    irrelevant — but each result lands in its population-index slot, so
-//!    the assembled report order is fixed.
-//! 3. **Wall-clock stays out.** Timing lives in [`FleetRunStats`],
-//!    reported next to — never inside — the serialized [`FleetReport`].
+//!    pure function of (experiment seed, population index) — which worker
+//!    steals which chunk (and when) is racy and irrelevant.
+//! 2. **Index-ordered aggregation.** The population is cut into
+//!    fixed-size chunks of consecutive indices. Each worker folds its
+//!    chunk's apps in ascending index order into a chunk-local
+//!    aggregator partial; the orchestrating thread merges chunk partials
+//!    in ascending chunk order through a reorder buffer. The fold/merge
+//!    tree is therefore a fixed function of (population, chunk size),
+//!    never of scheduling — and the aggregator's fixed-point sums make
+//!    even the float math associativity-exact.
+//! 3. **Wall-clock stays out.** Timing and pool geometry live in
+//!    [`FleetRunStats`], reported next to — never inside — the
+//!    serialized [`FleetReport`].
 //!
 //! Consequently `threads = 1` and `threads = 8` produce byte-identical
 //! report JSON for the same configuration (covered by
-//! `tests/fleet_determinism.rs` and the `slimstart fleet` CLI contract).
+//! `tests/fleet_determinism.rs`, `tests/fleet_streaming_equivalence.rs`
+//! and the `slimstart fleet` CLI contract), while memory stays constant:
+//! no per-app record vector is ever retained at 10k scale.
 
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::ops::Range;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use slimstart_appmodel::catalog::{fleet_population, CatalogApp};
 use slimstart_core::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
 use slimstart_core::resilience::DegradationLevel;
@@ -31,19 +44,43 @@ use slimstart_platform::metrics::Speedup;
 use slimstart_pyrt::snapshot::SnapshotStore;
 use slimstart_simcore::SimRng;
 
-use crate::report::{AppChaosRecord, AppRecord, FleetReport};
+use crate::report::{AppChaosRecord, AppRecord, FleetAggregator, FleetReport};
 
 /// XOR tag deriving the fleet's chaos seed root from the experiment seed.
 /// Distinct from the pipeline's own chaos stream tag, so fleet-assigned
 /// chaos seeds never collide with seeds a standalone pipeline would derive.
 const FLEET_CHAOS_TAG: u64 = 0xFEE7_CA05;
 
+/// Population indices per work-queue item. Large enough that queue
+/// traffic is micro-rare next to per-app pipeline work, small enough
+/// that a 10k-app fleet still yields ~300 stealable units.
+pub const DEFAULT_CHUNK: usize = 32;
+
+/// A per-app stall hook: given the population index, how long the worker
+/// should sleep before running that app. Models the collector/deploy
+/// round-trip latency a real fleet pays per application — overlappable
+/// across workers, hence what a thread sweep measures on I/O-bound
+/// populations. Also the test hook the work-queue property suite uses to
+/// perturb scheduling without touching seeds.
+pub type StallHook = Arc<dyn Fn(usize) -> Duration + Send + Sync>;
+
+/// One work-queue item: a chunk of consecutive population indices.
+struct ChunkItem {
+    id: usize,
+    range: Range<usize>,
+}
+
+/// What a worker sends home per chunk: the in-order aggregated partial,
+/// or the chunk's lowest-index failure.
+type ChunkResult = Result<FleetAggregator, (usize, FleetError)>;
+
 /// Fleet-run configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FleetConfig {
     /// Number of applications (cycling the catalog when above 22).
     pub apps: usize,
-    /// Worker threads (clamped to at least 1).
+    /// Worker threads (clamped to at least 1, and to the number of work
+    /// chunks the population actually yields).
     pub threads: usize,
     /// The experiment seed every per-app stream is split from.
     pub seed: u64,
@@ -52,6 +89,14 @@ pub struct FleetConfig {
     /// Measurement runs averaged per application (`SLIMSTART_RUNS`
     /// methodology; the paper averages five).
     pub runs: usize,
+    /// Population indices per work-stealing chunk (clamped to at least
+    /// 1). Changing it regroups the aggregation tree, which is harmless:
+    /// chunk partials merge in index order and every fold is
+    /// associativity-exact, so the report bytes do not move.
+    pub chunk: usize,
+    /// Optional per-app stall hook (see [`StallHook`]). `None` runs
+    /// apps back to back.
+    pub stall: Option<StallHook>,
     /// Template pipeline configuration (platform, sampler, detector,
     /// collector transport). Its `seed` and `cold_starts` are overridden
     /// per app from the fields above.
@@ -59,6 +104,22 @@ pub struct FleetConfig {
     /// Fault-injection rates. [`ChaosConfig::DISABLED`] (the default)
     /// keeps every report byte-identical to a chaos-free build.
     pub chaos: ChaosConfig,
+}
+
+impl fmt::Debug for FleetConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetConfig")
+            .field("apps", &self.apps)
+            .field("threads", &self.threads)
+            .field("seed", &self.seed)
+            .field("cold_starts", &self.cold_starts)
+            .field("runs", &self.runs)
+            .field("chunk", &self.chunk)
+            .field("stall", &self.stall.as_ref().map(|_| "<hook>"))
+            .field("pipeline", &self.pipeline)
+            .field("chaos", &self.chaos)
+            .finish()
+    }
 }
 
 impl Default for FleetConfig {
@@ -69,6 +130,8 @@ impl Default for FleetConfig {
             seed: 2025,
             cold_starts: 500,
             runs: 1,
+            chunk: DEFAULT_CHUNK,
+            stall: None,
             pipeline: PipelineConfig::default(),
             chaos: ChaosConfig::DISABLED,
         }
@@ -108,6 +171,29 @@ impl FleetConfig {
     #[must_use]
     pub fn with_runs(mut self, runs: usize) -> Self {
         self.runs = runs;
+        self
+    }
+
+    /// Sets the work-stealing chunk size.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Installs a per-app stall hook.
+    #[must_use]
+    pub fn with_stall_hook(mut self, stall: StallHook) -> Self {
+        self.stall = Some(stall);
+        self
+    }
+
+    /// Installs a uniform per-app stall of `micros` microseconds (the
+    /// `slimstart fleet --stall-us` surface). Zero removes the hook.
+    #[must_use]
+    pub fn with_stall_micros(mut self, micros: u64) -> Self {
+        self.stall = (micros > 0)
+            .then(|| Arc::new(move |_: usize| Duration::from_micros(micros)) as StallHook);
         self
     }
 
@@ -160,7 +246,8 @@ impl fmt::Display for FleetError {
 
 impl std::error::Error for FleetError {}
 
-/// Nondeterministic facts about a fleet run — wall-clock throughput.
+/// Nondeterministic facts about a fleet run — wall-clock throughput and
+/// pool geometry.
 ///
 /// Kept separate from [`FleetReport`] so the serialized report stays
 /// byte-identical across worker-pool sizes.
@@ -168,18 +255,51 @@ impl std::error::Error for FleetError {}
 pub struct FleetRunStats {
     /// Total wall-clock time of the run.
     pub wall_clock: Duration,
-    /// Worker threads used.
+    /// Worker threads actually spawned (the configured count clamped to
+    /// the number of work chunks).
     pub threads: usize,
-    /// Applications completed per wall-clock second.
+    /// Applications completed.
+    pub apps: usize,
+    /// Applications completed per wall-clock second (0.0 for an empty
+    /// fleet or an immeasurably fast run — never NaN or infinite).
     pub apps_per_second: f64,
+    /// Peak resident size of the aggregation state on the orchestrating
+    /// thread (merged aggregate plus reorder-buffered chunk partials),
+    /// in bytes. Bounded by chunk count in flight, not fleet size.
+    pub aggregate_peak_bytes: usize,
+}
+
+impl FleetRunStats {
+    /// Assembles run stats, guarding the throughput division: zero apps
+    /// or a zero-duration clock report 0.0 apps/s rather than NaN/inf.
+    pub fn new(
+        wall_clock: Duration,
+        threads: usize,
+        apps: usize,
+        aggregate_peak_bytes: usize,
+    ) -> Self {
+        let secs = wall_clock.as_secs_f64();
+        let apps_per_second = if apps == 0 || secs <= 0.0 {
+            0.0
+        } else {
+            apps as f64 / secs
+        };
+        FleetRunStats {
+            wall_clock,
+            threads,
+            apps,
+            apps_per_second,
+            aggregate_peak_bytes,
+        }
+    }
 }
 
 impl fmt::Display for FleetRunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "wall-clock {:.2?} across {} thread(s) ({:.2} apps/s)",
-            self.wall_clock, self.threads, self.apps_per_second
+            "wall-clock {:.2?} across {} thread(s) ({:.2} apps/s, peak aggregate {} B)",
+            self.wall_clock, self.threads, self.apps_per_second, self.aggregate_peak_bytes
         )
     }
 }
@@ -202,6 +322,50 @@ pub fn mean_speedup(speedups: &[Speedup]) -> Speedup {
         p99_e2e: speedups.iter().map(|s| s.p99_e2e).sum::<f64>() / n,
         mem: speedups.iter().map(|s| s.mem).sum::<f64>() / n,
     }
+}
+
+/// Splits the per-app seed pairs for a population, sequentially and up
+/// front: seed assignment is a pure function of (experiment seed,
+/// population index), never of scheduling.
+fn split_jobs(seed: u64, population: &[CatalogApp]) -> Vec<(usize, &CatalogApp, u64, u64)> {
+    let mut root = SimRng::seed_from(seed);
+    // Chaos seeds come from their own root stream: enabling fault
+    // injection must not shift any app's main simulation seed.
+    let mut chaos_root = SimRng::seed_from(seed ^ FLEET_CHAOS_TAG);
+    population
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| (i, entry, root.split_seed(), chaos_root.split_seed()))
+        .collect()
+}
+
+/// Pops the next chunk: local deque first, then a batch from the global
+/// injector, then other workers' queues.
+fn find_chunk(
+    local: &Worker<ChunkItem>,
+    injector: &Injector<ChunkItem>,
+    stealers: &[Stealer<ChunkItem>],
+) -> Option<ChunkItem> {
+    if let Some(item) = local.pop() {
+        return Some(item);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(item) => return Some(item),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for stealer in stealers {
+        loop {
+            match stealer.steal() {
+                Steal::Success(item) => return Some(item),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
 }
 
 /// The orchestrator.
@@ -231,11 +395,14 @@ impl FleetOrchestrator {
         self.run_population(&fleet_population(self.config.apps))
     }
 
-    /// Runs the fleet over an explicit population.
+    /// Runs the fleet over an explicit population through the
+    /// work-stealing pool and the streaming aggregator.
     ///
     /// # Errors
     ///
-    /// Returns the lowest-index application failure.
+    /// Returns the lowest-index application failure. Every chunk still
+    /// runs to completion (or its own first failure) before the error is
+    /// selected, so the reported failure does not depend on scheduling.
     pub fn run_population(
         &self,
         population: &[CatalogApp],
@@ -243,61 +410,122 @@ impl FleetOrchestrator {
         let cfg = &self.config;
         let start = Instant::now();
 
-        // Split every per-app seed sequentially, up front: seed assignment
-        // must be a pure function of (experiment seed, index) so that the
-        // worker pool's scheduling cannot perturb any app's randomness.
-        let mut root = SimRng::seed_from(cfg.seed);
-        // Chaos seeds come from their own root stream: enabling fault
-        // injection must not shift any app's main simulation seed.
-        let mut chaos_root = SimRng::seed_from(cfg.seed ^ FLEET_CHAOS_TAG);
-        let jobs: Vec<(usize, &CatalogApp, u64, u64)> = population
-            .iter()
-            .enumerate()
-            .map(|(i, entry)| (i, entry, root.split_seed(), chaos_root.split_seed()))
-            .collect();
+        let jobs = split_jobs(cfg.seed, population);
+        let chunk_size = cfg.chunk.max(1);
+        let chunk_count = jobs.len().div_ceil(chunk_size);
+        let threads = cfg.threads.max(1).min(chunk_count.max(1));
 
-        let threads = cfg.threads.max(1).min(jobs.len().max(1));
-        let slots: Vec<Mutex<Option<Result<AppRecord, FleetError>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
+        // Chunks of consecutive indices are the unit of scheduling: any
+        // worker may run any chunk, but the fold order *within* a chunk
+        // and the merge order *across* chunks are fixed by index.
+        let injector = Injector::new();
+        for id in 0..chunk_count {
+            let lo = id * chunk_size;
+            let hi = (lo + chunk_size).min(jobs.len());
+            injector.push(ChunkItem { id, range: lo..hi });
+        }
+
+        let locals: Vec<Worker<ChunkItem>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<ChunkItem>> = locals.iter().map(Worker::stealer).collect();
+        let (tx, rx) = channel::unbounded::<(usize, ChunkResult)>();
+
+        let mut first_error: Option<(usize, FleetError)> = None;
+        let mut aggregate = FleetAggregator::new();
+        let mut peak_bytes = aggregate.approx_bytes();
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
+            for local in locals {
+                let tx = tx.clone();
                 let jobs = &jobs;
-                let slots = &slots;
-                let next = &next;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(index, entry, seed, chaos_seed)) = jobs.get(i) else {
-                        break;
-                    };
-                    let record = run_app(cfg, index, entry, seed, chaos_seed);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(record);
+                let injector = &injector;
+                let stealers = &stealers;
+                scope.spawn(move || {
+                    while let Some(item) = find_chunk(&local, injector, stealers) {
+                        let mut partial = FleetAggregator::new();
+                        let mut failure: Option<(usize, FleetError)> = None;
+                        for &(index, entry, seed, chaos_seed) in &jobs[item.range.clone()] {
+                            if let Some(stall) = &cfg.stall {
+                                let pause = stall(index);
+                                if !pause.is_zero() {
+                                    std::thread::sleep(pause);
+                                }
+                            }
+                            match run_app(cfg, index, entry, seed, chaos_seed) {
+                                Ok(record) => partial.fold(record),
+                                Err(error) => {
+                                    failure = Some((index, error));
+                                    break;
+                                }
+                            }
+                        }
+                        let result = match failure {
+                            None => Ok(partial),
+                            Some(err) => Err(err),
+                        };
+                        if tx.send((item.id, result)).is_err() {
+                            break;
+                        }
+                    }
                 });
+            }
+            drop(tx);
+
+            // Streaming merge: chunk partials arrive in completion order,
+            // a reorder buffer releases them in chunk order. Peak resident
+            // size is the merged aggregate plus whatever the buffer holds.
+            let mut pending: BTreeMap<usize, FleetAggregator> = BTreeMap::new();
+            let mut next_chunk = 0usize;
+            for (id, result) in rx {
+                match result {
+                    Ok(partial) => {
+                        pending.insert(id, partial);
+                        while let Some(partial) = pending.remove(&next_chunk) {
+                            aggregate.merge(partial);
+                            next_chunk += 1;
+                        }
+                    }
+                    Err((index, error)) => {
+                        let lower = first_error.as_ref().is_none_or(|(i, _)| index < *i);
+                        if lower {
+                            first_error = Some((index, error));
+                        }
+                    }
+                }
+                let resident = aggregate.approx_bytes()
+                    + pending
+                        .values()
+                        .map(FleetAggregator::approx_bytes)
+                        .sum::<usize>();
+                peak_bytes = peak_bytes.max(resident);
             }
         });
 
-        let mut apps = Vec::with_capacity(jobs.len());
-        for slot in slots {
-            let record = slot
-                .into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("scoped worker fills every slot");
-            apps.push(record?);
+        if let Some((_, error)) = first_error {
+            return Err(error);
         }
-
-        let report = FleetReport::from_records(cfg.seed, cfg.cold_starts, cfg.runs, apps);
-        let wall_clock = start.elapsed();
-        let stats = FleetRunStats {
-            wall_clock,
-            threads,
-            apps_per_second: if wall_clock.as_secs_f64() > 0.0 {
-                report.apps.len() as f64 / wall_clock.as_secs_f64()
-            } else {
-                0.0
-            },
-        };
+        debug_assert_eq!(aggregate.count(), jobs.len(), "every chunk merged");
+        let report = aggregate.finish(cfg.seed, cfg.cold_starts, cfg.runs);
+        let stats = FleetRunStats::new(start.elapsed(), threads, report.fleet_size, peak_bytes);
         Ok((report, stats))
+    }
+
+    /// Runs the fleet sequentially and returns every retained
+    /// [`AppRecord`] — the memory-proportional path behind the
+    /// differential oracle (`tests/fleet_streaming_equivalence.rs`) and
+    /// small interactive inspections. The records feed
+    /// [`crate::report::FleetSummary::from_records`], which must produce
+    /// JSON byte-identical to [`run_population`](Self::run_population)'s
+    /// streaming aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index application failure.
+    pub fn run_records(&self, population: &[CatalogApp]) -> Result<Vec<AppRecord>, FleetError> {
+        let cfg = &self.config;
+        split_jobs(cfg.seed, population)
+            .into_iter()
+            .map(|(index, entry, seed, chaos_seed)| run_app(cfg, index, entry, seed, chaos_seed))
+            .collect()
     }
 }
 
@@ -386,6 +614,7 @@ fn run_app(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::FleetSummary;
     use slimstart_platform::PlatformConfig;
 
     fn quick_fleet(apps: usize, threads: usize) -> FleetOrchestrator {
@@ -405,10 +634,12 @@ mod tests {
     #[test]
     fn small_fleet_produces_per_app_rows_in_order() {
         let (report, stats) = quick_fleet(4, 2).run().unwrap();
-        assert_eq!(report.apps.len(), 4);
-        for (i, app) in report.apps.iter().enumerate() {
+        assert_eq!(report.fleet_size, 4);
+        assert_eq!(report.detail.len(), 4);
+        for (i, app) in report.detail.iter().enumerate() {
             assert_eq!(app.index, i);
         }
+        assert!(!report.detail_truncated);
         assert!(stats.threads <= 2);
         assert!(report.init_speedup.mean >= 1.0);
     }
@@ -421,6 +652,24 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_does_not_change_the_report() {
+        let (big, _) = quick_fleet(5, 2).run().unwrap();
+        let tiny = FleetOrchestrator::new(quick_fleet(5, 2).config().clone().with_chunk(1));
+        let (small, _) = tiny.run().unwrap();
+        assert_eq!(big.to_json(), small.to_json());
+    }
+
+    #[test]
+    fn streaming_run_matches_the_retained_oracle() {
+        let orchestrator = quick_fleet(6, 3);
+        let population = fleet_population(6);
+        let (streamed, _) = orchestrator.run_population(&population).unwrap();
+        let records = orchestrator.run_records(&population).unwrap();
+        let oracle = FleetSummary::from_records(7, 10, 1, records);
+        assert_eq!(streamed.to_json(), oracle.to_json());
+    }
+
+    #[test]
     fn runs_averaging_is_applied() {
         let one = quick_fleet(1, 1);
         let (r1, _) = one.run().unwrap();
@@ -429,8 +678,11 @@ mod tests {
         assert_eq!(r2.runs, 2);
         // Averaged speedups differ from the single-run row (distinct
         // derived seeds), while staying in a plausible band.
-        assert!(r2.apps[0].speedup.init > 1.0);
-        assert!(r1.apps[0].seed == r2.apps[0].seed, "base seed is stable");
+        assert!(r2.detail[0].speedup.init > 1.0);
+        assert!(
+            r1.detail[0].seed == r2.detail[0].seed,
+            "base seed is stable"
+        );
     }
 
     #[test]
@@ -468,12 +720,45 @@ mod tests {
     fn seeds_are_pure_function_of_experiment_seed_and_index() {
         let (a, _) = quick_fleet(4, 3).run().unwrap();
         let (b, _) = quick_fleet(4, 1).run().unwrap();
-        let seeds_a: Vec<u64> = a.apps.iter().map(|r| r.seed).collect();
-        let seeds_b: Vec<u64> = b.apps.iter().map(|r| r.seed).collect();
+        let seeds_a: Vec<u64> = a.detail.iter().map(|r| r.seed).collect();
+        let seeds_b: Vec<u64> = b.detail.iter().map(|r| r.seed).collect();
         assert_eq!(seeds_a, seeds_b);
         // And they match a hand-rolled sequential split.
         let mut root = SimRng::seed_from(7);
         let expected: Vec<u64> = (0..4).map(|_| root.split_seed()).collect();
         assert_eq!(seeds_a, expected);
+    }
+
+    #[test]
+    fn stall_hook_slows_the_run_but_not_the_report() {
+        let (plain, _) = quick_fleet(3, 1).run().unwrap();
+        let stalled =
+            FleetOrchestrator::new(quick_fleet(3, 1).config().clone().with_stall_micros(200));
+        let (report, stats) = stalled.run().unwrap();
+        assert_eq!(plain.to_json(), report.to_json());
+        assert!(stats.wall_clock >= Duration::from_micros(3 * 200));
+    }
+
+    #[test]
+    fn run_stats_guard_degenerate_divisions() {
+        let zero_apps = FleetRunStats::new(Duration::from_secs(1), 2, 0, 0);
+        assert_eq!(zero_apps.apps_per_second, 0.0);
+        let zero_clock = FleetRunStats::new(Duration::ZERO, 2, 10, 0);
+        assert_eq!(zero_clock.apps_per_second, 0.0);
+        assert!(zero_clock.apps_per_second.is_finite());
+        let normal = FleetRunStats::new(Duration::from_secs(2), 2, 10, 64);
+        assert!((normal.apps_per_second - 5.0).abs() < 1e-9);
+        assert!(normal.to_string().contains("2 thread(s)"));
+    }
+
+    #[test]
+    fn threads_are_clamped_to_spawned_count() {
+        // 3 apps with chunk size 1 yield 3 chunks; asking for 64 threads
+        // must report the 3 actually spawned.
+        let wide = FleetOrchestrator::new(quick_fleet(3, 64).config().clone().with_chunk(1));
+        let (_, stats) = wide.run().unwrap();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.apps, 3);
+        assert!(stats.aggregate_peak_bytes > 0);
     }
 }

@@ -1,18 +1,64 @@
-//! The aggregated fleet report.
+//! The aggregated fleet report and its streaming builder.
 //!
 //! Everything in a [`FleetReport`] is a deterministic function of the
-//! fleet configuration (population, experiment seed, cold starts, runs):
-//! per-app rows are keyed by population index, fleet-wide distributions
-//! come from [`slimstart_simcore::stats::Percentiles`] over those rows,
-//! and the JSON writer is the same hand-rolled style as
-//! `slimstart-core/src/export.rs`. Wall-clock timing deliberately lives
-//! in [`crate::FleetRunStats`], *outside* this report, so serialized
-//! output is byte-identical regardless of worker-pool size.
+//! fleet configuration (population, experiment seed, cold starts, runs).
+//! Two construction paths produce byte-identical JSON:
+//!
+//! * **Streaming** ([`FleetAggregator`]) — the orchestrator's path. Each
+//!   finished application folds into constant-memory summary state
+//!   (counts, integer-scaled sums, fixed-bin histograms, a capped
+//!   per-app detail window); per-worker partials merge **in population
+//!   index order**. Nothing retains a per-app vector at 10k scale.
+//! * **Retained** ([`FleetSummary::from_records`]) — the differential
+//!   oracle: collect every [`AppRecord`], aggregate in one pass. Only
+//!   tests and small interactive runs should pay its memory bill.
+//!
+//! Byte-identity across thread counts (and between the two paths) rests
+//! on two choices, both versioned in the JSON schema
+//! ([`REPORT_SCHEMA`]):
+//!
+//! 1. **Integer-scaled means.** Mean accumulation uses fixed-point
+//!    `i128` sums (`round(v * 2^`[`HIST_SCALE_BITS`]`)`), which are
+//!    associative — unlike `f64` addition — so chunked partial merges
+//!    and a sequential fold produce identical bits no matter how the
+//!    population was partitioned.
+//! 2. **Fixed-bin histograms.** Quantiles come from deterministic
+//!    log2-spaced bins ([`FixedHistogram`]) instead of exact retained
+//!    samples: bin counts are associative, so the same guarantee holds.
+//!
+//! Wall-clock timing deliberately lives in [`crate::FleetRunStats`],
+//! *outside* this report, so serialized output is byte-identical
+//! regardless of worker-pool size.
 
 use std::fmt::Write as _;
 
 use slimstart_platform::metrics::Speedup;
-use slimstart_simcore::stats::Percentiles;
+
+/// Version tag leading the serialized report. Bump whenever the summary
+/// layout, histogram geometry, or scaling constants change.
+pub const REPORT_SCHEMA: &str = "slimstart-fleet-report/v2";
+
+/// Per-app rows retained in the report's detail window. Fleets at or
+/// below this size keep every row; larger fleets keep the first
+/// `DETAIL_ROWS` (by population index) and set `detail_truncated` — the
+/// report stays constant-memory at any scale.
+pub const DETAIL_ROWS: usize = 32;
+
+/// Histogram bins per speedup dimension.
+pub const HIST_BINS: usize = 256;
+
+/// log2 of the lowest bin edge: bin 0 starts at 2^-3 = 0.125x.
+pub const HIST_LOG2_LO: f64 = -3.0;
+
+/// log2 width of each bin (2^0.0625 ≈ 4.4 % relative resolution); 256
+/// bins cover [0.125x, 8192x). Out-of-range values clamp to the edge
+/// bins.
+pub const HIST_LOG2_WIDTH: f64 = 0.0625;
+
+/// Fixed-point fraction bits for mean accumulation: values are rounded
+/// to multiples of 2^-24 before summing, making the sum exact and
+/// associative in `i128`.
+pub const HIST_SCALE_BITS: u32 = 24;
 
 /// Escapes a string for inclusion in JSON output.
 fn escape(s: &str) -> String {
@@ -40,6 +86,24 @@ fn num(x: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// SplitMix64 finalizer — the mixing step behind the order-independent
+/// seed digest.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The digest contribution of one `(population index, per-app seed)`
+/// assignment. XOR-combining these is order-independent, so the digest
+/// proves *which* seed every app received without retaining any rows —
+/// the work-queue sweep tests compare it against a hand-rolled
+/// sequential split at any fleet size.
+pub fn seed_digest_term(index: usize, seed: u64) -> u64 {
+    mix64(seed ^ mix64(index as u64))
 }
 
 /// One application's row in the fleet report.
@@ -149,100 +213,237 @@ impl AppRecord {
         out.push('}');
         out
     }
+
+    /// Rough heap footprint of the row, for aggregate-size accounting.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<AppRecord>() + self.code.capacity() + self.name.capacity()
+    }
+}
+
+/// A deterministic fixed-bin histogram over one speedup dimension.
+///
+/// Bins are log2-spaced ([`HIST_LOG2_LO`], [`HIST_LOG2_WIDTH`],
+/// [`HIST_BINS`]); counts, the fixed-point sum, and exact min/max are
+/// all associative under [`merge`](FixedHistogram::merge), so any
+/// partitioning of the population produces bit-identical state.
+#[derive(Clone, PartialEq)]
+pub struct FixedHistogram {
+    counts: [u64; HIST_BINS],
+    count: u64,
+    sum_scaled: i128,
+    min: f64,
+    max: f64,
+}
+
+impl std::fmt::Debug for FixedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FixedHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Default for FixedHistogram {
+    fn default() -> Self {
+        FixedHistogram::new()
+    }
+}
+
+impl FixedHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        FixedHistogram {
+            counts: [0; HIST_BINS],
+            count: 0,
+            sum_scaled: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bin a value lands in (clamped to the edge bins).
+    fn bin_of(v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let raw = (v.log2() - HIST_LOG2_LO) / HIST_LOG2_WIDTH;
+        if raw < 0.0 {
+            0
+        } else {
+            (raw as usize).min(HIST_BINS - 1)
+        }
+    }
+
+    /// Geometric midpoint of a bin — the representative value quantiles
+    /// report.
+    fn bin_mid(bin: usize) -> f64 {
+        (HIST_LOG2_LO + (bin as f64 + 0.5) * HIST_LOG2_WIDTH).exp2()
+    }
+
+    /// Folds one value. Non-finite values are ignored (the writer would
+    /// render them as null anyway); everything else lands in a bin and
+    /// the fixed-point sum.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[Self::bin_of(v)] += 1;
+        self.count += 1;
+        self.sum_scaled += scale_value(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram in. Order-insensitive: every field is
+    /// an associative, commutative fold.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_scaled += other.sum_scaled;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Recorded (finite) values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean, reconstructed from the fixed-point sum (0.0 when
+    /// empty). Quantization error is at most 2^-25 per sample —
+    /// invisible at the writer's six decimals.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_scaled as f64 / f64::from(1u32 << HIST_SCALE_BITS) / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Deterministic approximate quantile: the geometric midpoint of the
+    /// bin holding rank `floor(q * (count - 1))`, clamped into the exact
+    /// observed `[min, max]` so degenerate samples stay sane. Resolution
+    /// is one bin width (±2.2 %).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (bin, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bin_mid(bin).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// The non-empty bins as `(bin index, count)` pairs, ascending.
+    pub fn sparse_bins(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+/// Rounds a value to fixed point for the associative mean sum.
+fn scale_value(v: f64) -> i128 {
+    (v * f64::from(1u32 << HIST_SCALE_BITS)).round() as i128
 }
 
 /// Fleet-wide distribution of one speedup dimension across applications.
+///
+/// Since schema v2 the quantiles are histogram-derived (deterministic
+/// fixed bins, see [`FixedHistogram`]); `mean`, `min` and `max` are
+/// exact.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedupDistribution {
-    /// Arithmetic mean.
+    /// Arithmetic mean (exact, fixed-point accumulated).
     pub mean: f64,
-    /// Median (p50).
+    /// Median (p50), histogram resolution.
     pub median: f64,
-    /// 90th percentile.
+    /// 90th percentile, histogram resolution.
     pub p90: f64,
-    /// 99th percentile.
+    /// 99th percentile, histogram resolution.
     pub p99: f64,
-    /// Minimum.
+    /// Minimum (exact).
     pub min: f64,
-    /// Maximum.
+    /// Maximum (exact).
     pub max: f64,
 }
 
 impl SpeedupDistribution {
-    /// Computes the distribution over a non-empty value set; zeros when
-    /// empty.
-    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
-        let p: Percentiles = values.into_iter().collect();
-        if p.is_empty() {
-            return SpeedupDistribution {
-                mean: 0.0,
-                median: 0.0,
-                p90: 0.0,
-                p99: 0.0,
-                min: 0.0,
-                max: 0.0,
-            };
-        }
-        let sorted_min = p.quantile(0.0).unwrap_or(0.0);
+    /// Distills the summary statistics out of a histogram.
+    pub fn from_histogram(hist: &FixedHistogram) -> Self {
         SpeedupDistribution {
-            mean: p.mean().unwrap_or(0.0),
-            median: p.median().unwrap_or(0.0),
-            p90: p.quantile(0.90).unwrap_or(0.0),
-            p99: p.p99().unwrap_or(0.0),
-            min: sorted_min,
-            max: p.quantile(1.0).unwrap_or(0.0),
+            mean: hist.mean(),
+            median: hist.quantile(0.50),
+            p90: hist.quantile(0.90),
+            p99: hist.quantile(0.99),
+            min: hist.min(),
+            max: hist.max(),
         }
     }
 
-    fn to_json(self) -> String {
-        format!(
-            "{{\"mean\":{},\"median\":{},\"p90\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+    /// Convenience: folds the values through a [`FixedHistogram`] first.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut hist = FixedHistogram::new();
+        for v in values {
+            hist.record(v);
+        }
+        SpeedupDistribution::from_histogram(&hist)
+    }
+
+    fn to_json(self, hist: &FixedHistogram) -> String {
+        let mut out = format!(
+            "{{\"mean\":{},\"median\":{},\"p90\":{},\"p99\":{},\"min\":{},\"max\":{},\"bins\":[",
             num(self.mean),
             num(self.median),
             num(self.p90),
             num(self.p99),
             num(self.min),
             num(self.max),
-        )
+        );
+        for (i, (bin, count)) in hist.sparse_bins().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{bin},{count}]");
+        }
+        out.push_str("]}");
+        out
     }
 }
 
-/// The aggregated result of one fleet run.
-#[derive(Debug, Clone)]
-pub struct FleetReport {
-    /// The experiment seed all per-app streams were split from.
-    pub seed: u64,
-    /// Cold starts per measurement run.
-    pub cold_starts: usize,
-    /// Measurement runs averaged per application (`SLIMSTART_RUNS`).
-    pub runs: usize,
-    /// Per-application rows, in population order.
-    pub apps: Vec<AppRecord>,
-    /// Fleet-wide distribution of cold-init speedups.
-    pub init_speedup: SpeedupDistribution,
-    /// Fleet-wide distribution of end-to-end speedups.
-    pub e2e_speedup: SpeedupDistribution,
-    /// Fleet-wide distribution of memory reductions.
-    pub mem_reduction: SpeedupDistribution,
-    /// Applications whose profile-informed gate passed.
-    pub gate_passed_count: usize,
-    /// Applications that shipped at least one import edit.
-    pub optimized_count: usize,
-    /// Applications rolled back by the pre-deployment verifier.
-    pub rolled_back_count: usize,
-    /// Total detector findings across the fleet.
-    pub findings_total: usize,
-    /// Total deferred packages across the fleet.
-    pub deferred_total: usize,
-    /// Total pre-deployment analyzer warnings across the fleet.
-    pub analyzer_warnings_total: usize,
-    /// Fault-injection summary; `None` for chaos-free fleets, which keeps
-    /// the serialized report byte-identical to chaos-free builds.
-    pub chaos: Option<FleetChaosSummary>,
-}
-
 /// Fleet-wide fault-injection summary (chaos-enabled fleets only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FleetChaosSummary {
     /// Applications with at least one injected fault.
     pub faulted: usize,
@@ -273,6 +474,25 @@ impl FleetChaosSummary {
         })
     }
 
+    /// Folds one app's chaos row in (the streaming counterpart of
+    /// [`from_records`](Self::from_records)).
+    pub fn fold(&mut self, chaos: &AppChaosRecord) {
+        self.faulted += usize::from(chaos.faults > 0);
+        self.recovered += usize::from(chaos.recovered);
+        self.degraded += usize::from(chaos.degraded());
+        self.failed += usize::from(chaos.failed());
+        self.faults_total += chaos.faults;
+    }
+
+    /// Merges another summary in (associative and commutative).
+    pub fn merge(&mut self, other: &FleetChaosSummary) {
+        self.faulted += other.faulted;
+        self.recovered += other.recovered;
+        self.degraded += other.degraded;
+        self.failed += other.failed;
+        self.faults_total += other.faults_total;
+    }
+
     fn to_json(self) -> String {
         format!(
             "{{\"faulted\":{},\"recovered\":{},\"degraded\":{},\"failed\":{},\"faults_total\":{}}}",
@@ -281,39 +501,282 @@ impl FleetChaosSummary {
     }
 }
 
-impl FleetReport {
-    /// Aggregates per-app rows into the fleet report.
-    pub fn from_records(seed: u64, cold_starts: usize, runs: usize, apps: Vec<AppRecord>) -> Self {
-        let init_speedup = SpeedupDistribution::from_values(apps.iter().map(|a| a.speedup.init));
-        let e2e_speedup = SpeedupDistribution::from_values(apps.iter().map(|a| a.speedup.e2e));
-        let mem_reduction = SpeedupDistribution::from_values(apps.iter().map(|a| a.speedup.mem));
+/// Streaming fleet aggregation state: everything a [`FleetReport`] needs,
+/// in constant memory.
+///
+/// Usage contract (asserted): records fold in **ascending population
+/// index order** with no gaps, and [`merge`](Self::merge) only accepts a
+/// partial whose base index continues where this one ends. The
+/// orchestrator satisfies both by folding each work-stealing chunk
+/// in-order into its own partial and merging chunk partials in chunk
+/// order — which worker ran which chunk is irrelevant.
+#[derive(Debug, Clone, Default)]
+pub struct FleetAggregator {
+    base_index: Option<usize>,
+    count: usize,
+    gate_passed: usize,
+    optimized: usize,
+    rolled_back: usize,
+    findings_total: usize,
+    deferred_total: usize,
+    analyzer_warnings_total: usize,
+    init: FixedHistogram,
+    e2e: FixedHistogram,
+    mem: FixedHistogram,
+    chaos: Option<FleetChaosSummary>,
+    seed_digest: u64,
+    detail: Vec<AppRecord>,
+    detail_truncated: bool,
+}
+
+impl FleetAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        FleetAggregator::default()
+    }
+
+    /// Applications folded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// First population index folded, if any.
+    pub fn base_index(&self) -> Option<usize> {
+        self.base_index
+    }
+
+    /// Folds one finished application into the summary state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `record.index` is not the next expected population
+    /// index — out-of-order folding would silently break the
+    /// byte-identity contract, so it is a hard error.
+    pub fn fold(&mut self, record: AppRecord) {
+        match self.base_index {
+            None => self.base_index = Some(record.index),
+            Some(base) => assert_eq!(
+                record.index,
+                base + self.count,
+                "FleetAggregator::fold out of order"
+            ),
+        }
+        self.count += 1;
+        self.gate_passed += usize::from(record.gate_passed);
+        self.optimized += usize::from(record.optimized);
+        self.rolled_back += usize::from(record.rolled_back);
+        self.findings_total += record.findings;
+        self.deferred_total += record.deferred;
+        self.analyzer_warnings_total += record.analyzer_warnings;
+        self.init.record(record.speedup.init);
+        self.e2e.record(record.speedup.e2e);
+        self.mem.record(record.speedup.mem);
+        if let Some(chaos) = &record.chaos {
+            self.chaos.get_or_insert_with(Default::default).fold(chaos);
+        }
+        self.seed_digest ^= seed_digest_term(record.index, record.seed);
+        if record.index < DETAIL_ROWS {
+            self.detail.push(record);
+        } else {
+            self.detail_truncated = true;
+        }
+    }
+
+    /// Merges a partial that continues this one's index range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `other` does not start exactly where this aggregator
+    /// ends.
+    pub fn merge(&mut self, other: FleetAggregator) {
+        let Some(other_base) = other.base_index else {
+            return; // empty partial
+        };
+        let Some(base) = self.base_index else {
+            *self = other;
+            return;
+        };
+        assert_eq!(
+            other_base,
+            base + self.count,
+            "FleetAggregator::merge out of order"
+        );
+        self.count += other.count;
+        self.gate_passed += other.gate_passed;
+        self.optimized += other.optimized;
+        self.rolled_back += other.rolled_back;
+        self.findings_total += other.findings_total;
+        self.deferred_total += other.deferred_total;
+        self.analyzer_warnings_total += other.analyzer_warnings_total;
+        self.init.merge(&other.init);
+        self.e2e.merge(&other.e2e);
+        self.mem.merge(&other.mem);
+        if let Some(theirs) = &other.chaos {
+            self.chaos
+                .get_or_insert_with(Default::default)
+                .merge(theirs);
+        }
+        self.seed_digest ^= other.seed_digest;
+        self.detail.extend(other.detail);
+        self.detail_truncated |= other.detail_truncated;
+    }
+
+    /// Rough resident size of the aggregation state, for the bench's
+    /// peak-aggregate accounting. Bounded by the fixed histograms plus
+    /// the capped detail window, regardless of fleet size.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<FleetAggregator>()
+            + self
+                .detail
+                .iter()
+                .map(AppRecord::approx_bytes)
+                .sum::<usize>()
+    }
+
+    /// Finalizes the aggregation into a report.
+    pub fn finish(self, seed: u64, cold_starts: usize, runs: usize) -> FleetReport {
         FleetReport {
             seed,
             cold_starts,
             runs,
+            fleet_size: self.count,
+            seed_digest: self.seed_digest,
+            gate_passed_count: self.gate_passed,
+            optimized_count: self.optimized,
+            rolled_back_count: self.rolled_back,
+            findings_total: self.findings_total,
+            deferred_total: self.deferred_total,
+            analyzer_warnings_total: self.analyzer_warnings_total,
+            init_speedup: SpeedupDistribution::from_histogram(&self.init),
+            e2e_speedup: SpeedupDistribution::from_histogram(&self.e2e),
+            mem_reduction: SpeedupDistribution::from_histogram(&self.mem),
+            init_hist: self.init,
+            e2e_hist: self.e2e,
+            mem_hist: self.mem,
+            chaos: self.chaos,
+            detail: self.detail,
+            detail_truncated: self.detail_truncated,
+        }
+    }
+}
+
+/// The retained aggregation path: collect every row, summarize in one
+/// pass. This is the differential oracle the streaming
+/// [`FleetAggregator`] is tested against (`tests/fleet_streaming_equivalence.rs`)
+/// — deliberately the dumbest possible implementation.
+pub struct FleetSummary;
+
+impl FleetSummary {
+    /// Aggregates a fully retained record vector into a report that must
+    /// be byte-identical to the streaming path's.
+    pub fn from_records(
+        seed: u64,
+        cold_starts: usize,
+        runs: usize,
+        apps: Vec<AppRecord>,
+    ) -> FleetReport {
+        let mut init = FixedHistogram::new();
+        let mut e2e = FixedHistogram::new();
+        let mut mem = FixedHistogram::new();
+        for a in &apps {
+            init.record(a.speedup.init);
+            e2e.record(a.speedup.e2e);
+            mem.record(a.speedup.mem);
+        }
+        let seed_digest = apps
+            .iter()
+            .fold(0u64, |d, a| d ^ seed_digest_term(a.index, a.seed));
+        let detail_truncated = apps.len() > DETAIL_ROWS;
+        FleetReport {
+            seed,
+            cold_starts,
+            runs,
+            fleet_size: apps.len(),
+            seed_digest,
             gate_passed_count: apps.iter().filter(|a| a.gate_passed).count(),
             optimized_count: apps.iter().filter(|a| a.optimized).count(),
             rolled_back_count: apps.iter().filter(|a| a.rolled_back).count(),
             findings_total: apps.iter().map(|a| a.findings).sum(),
             deferred_total: apps.iter().map(|a| a.deferred).sum(),
             analyzer_warnings_total: apps.iter().map(|a| a.analyzer_warnings).sum(),
+            init_speedup: SpeedupDistribution::from_histogram(&init),
+            e2e_speedup: SpeedupDistribution::from_histogram(&e2e),
+            mem_reduction: SpeedupDistribution::from_histogram(&mem),
             chaos: FleetChaosSummary::from_records(&apps),
-            init_speedup,
-            e2e_speedup,
-            mem_reduction,
-            apps,
+            init_hist: init,
+            e2e_hist: e2e,
+            mem_hist: mem,
+            detail: apps.into_iter().take(DETAIL_ROWS).collect(),
+            detail_truncated,
         }
+    }
+}
+
+/// The aggregated result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The experiment seed all per-app streams were split from.
+    pub seed: u64,
+    /// Cold starts per measurement run.
+    pub cold_starts: usize,
+    /// Measurement runs averaged per application (`SLIMSTART_RUNS`).
+    pub runs: usize,
+    /// Applications aggregated.
+    pub fleet_size: usize,
+    /// Order-independent XOR digest over every `(index, seed)`
+    /// assignment — proves seed assignment without retaining rows.
+    pub seed_digest: u64,
+    /// Applications whose profile-informed gate passed.
+    pub gate_passed_count: usize,
+    /// Applications that shipped at least one import edit.
+    pub optimized_count: usize,
+    /// Applications rolled back by the pre-deployment verifier.
+    pub rolled_back_count: usize,
+    /// Total detector findings across the fleet.
+    pub findings_total: usize,
+    /// Total deferred packages across the fleet.
+    pub deferred_total: usize,
+    /// Total pre-deployment analyzer warnings across the fleet.
+    pub analyzer_warnings_total: usize,
+    /// Fleet-wide distribution of cold-init speedups.
+    pub init_speedup: SpeedupDistribution,
+    /// Fleet-wide distribution of end-to-end speedups.
+    pub e2e_speedup: SpeedupDistribution,
+    /// Fleet-wide distribution of memory reductions.
+    pub mem_reduction: SpeedupDistribution,
+    /// Cold-init speedup histogram.
+    pub init_hist: FixedHistogram,
+    /// End-to-end speedup histogram.
+    pub e2e_hist: FixedHistogram,
+    /// Memory-reduction histogram.
+    pub mem_hist: FixedHistogram,
+    /// Fault-injection summary; `None` for chaos-free fleets, which keeps
+    /// the serialized report byte-identical to chaos-free builds.
+    pub chaos: Option<FleetChaosSummary>,
+    /// The first [`DETAIL_ROWS`] per-app rows, in population order.
+    pub detail: Vec<AppRecord>,
+    /// Whether rows beyond the detail window were summarized only.
+    pub detail_truncated: bool,
+}
+
+impl FleetReport {
+    /// Aggregates retained per-app rows into the fleet report
+    /// (delegates to the [`FleetSummary`] oracle path).
+    pub fn from_records(seed: u64, cold_starts: usize, runs: usize, apps: Vec<AppRecord>) -> Self {
+        FleetSummary::from_records(seed, cold_starts, runs, apps)
     }
 
     /// Serializes the report. Deterministic: depends only on the fleet
-    /// configuration, never on thread count or wall-clock.
+    /// configuration, never on thread count, chunking, or wall-clock.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push('{');
+        let _ = write!(out, "\"schema\":\"{REPORT_SCHEMA}\",");
         let _ = write!(out, "\"seed\":{},", self.seed);
         let _ = write!(out, "\"cold_starts\":{},", self.cold_starts);
         let _ = write!(out, "\"runs\":{},", self.runs);
-        let _ = write!(out, "\"fleet_size\":{},", self.apps.len());
+        let _ = write!(out, "\"fleet_size\":{},", self.fleet_size);
+        let _ = write!(out, "\"seed_digest\":{},", self.seed_digest);
         let _ = write!(out, "\"gate_passed\":{},", self.gate_passed_count);
         let _ = write!(out, "\"optimized\":{},", self.optimized_count);
         let _ = write!(out, "\"rolled_back\":{},", self.rolled_back_count);
@@ -327,21 +790,42 @@ impl FleetReport {
         if let Some(chaos) = &self.chaos {
             let _ = write!(out, "\"chaos\":{},", chaos.to_json());
         }
-        let _ = write!(out, "\"init_speedup\":{},", self.init_speedup.to_json());
-        let _ = write!(out, "\"e2e_speedup\":{},", self.e2e_speedup.to_json());
-        let _ = write!(out, "\"mem_reduction\":{},", self.mem_reduction.to_json());
-        out.push_str("\"apps\":[");
-        for (i, app) in self.apps.iter().enumerate() {
+        let _ = write!(
+            out,
+            "\"histogram\":{{\"bins\":{HIST_BINS},\"log2_lo\":{},\"log2_width\":{},\"scale_bits\":{HIST_SCALE_BITS}}},",
+            num(HIST_LOG2_LO),
+            num(HIST_LOG2_WIDTH),
+        );
+        let _ = write!(
+            out,
+            "\"init_speedup\":{},",
+            self.init_speedup.to_json(&self.init_hist)
+        );
+        let _ = write!(
+            out,
+            "\"e2e_speedup\":{},",
+            self.e2e_speedup.to_json(&self.e2e_hist)
+        );
+        let _ = write!(
+            out,
+            "\"mem_reduction\":{},",
+            self.mem_reduction.to_json(&self.mem_hist)
+        );
+        out.push_str("\"detail\":[");
+        for (i, app) in self.detail.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&app.to_json());
         }
-        out.push_str("]}");
+        out.push_str("],");
+        let _ = write!(out, "\"detail_truncated\":{}", self.detail_truncated);
+        out.push('}');
         out
     }
 
-    /// Renders a human-readable fleet summary table.
+    /// Renders a human-readable fleet summary table over the detail
+    /// window.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -349,7 +833,7 @@ impl FleetReport {
             "{:<5} {:<9} {:<26} {:>5} {:>9} {:>9} {:>9}  NOTES",
             "#", "CODE", "NAME", "GATE", "INITx", "E2Ex", "MEMx"
         );
-        for a in &self.apps {
+        for a in &self.detail {
             let mut notes = Vec::new();
             if a.optimized {
                 notes.push(format!("{} deferred", a.deferred));
@@ -378,11 +862,19 @@ impl FleetReport {
                 notes.join(", ")
             );
         }
+        if self.detail_truncated {
+            let _ = writeln!(
+                out,
+                "(first {} of {} apps; the rest live in the summary only)",
+                self.detail.len(),
+                self.fleet_size,
+            );
+        }
         let _ = writeln!(out);
         let _ = writeln!(
             out,
             "fleet: {} apps | {} above gate | {} optimized | {} rolled back | {} findings",
-            self.apps.len(),
+            self.fleet_size,
             self.gate_passed_count,
             self.optimized_count,
             self.rolled_back_count,
@@ -457,7 +949,7 @@ mod tests {
     }
 
     #[test]
-    fn aggregation_counts_and_percentiles() {
+    fn aggregation_counts_and_distributions() {
         let apps = vec![
             record(0, 2.0, 1.5),
             record(1, 1.0, 1.0),
@@ -468,9 +960,76 @@ mod tests {
         assert_eq!(report.optimized_count, 2);
         assert_eq!(report.findings_total, 2);
         assert_eq!(report.analyzer_warnings_total, 3);
-        assert!((report.init_speedup.median - 1.6).abs() < 1e-9);
-        assert!((report.init_speedup.max - 2.0).abs() < 1e-9);
+        // Mean is exact (fixed-point); min/max exact; quantiles land
+        // within a bin width of the sample.
+        assert!((report.init_speedup.mean - (2.0 + 1.0 + 1.6) / 3.0).abs() < 1e-6);
         assert!((report.init_speedup.min - 1.0).abs() < 1e-9);
+        assert!((report.init_speedup.max - 2.0).abs() < 1e-9);
+        assert!((report.init_speedup.median - 1.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn streaming_fold_matches_retained_oracle() {
+        let apps: Vec<AppRecord> = (0..50)
+            .map(|i| record(i, 1.0 + (i % 7) as f64 * 0.2, 1.0 + (i % 5) as f64 * 0.1))
+            .collect();
+        let oracle = FleetSummary::from_records(7, 100, 1, apps.clone());
+
+        // Stream through chunked partials merged in index order.
+        let mut root = FleetAggregator::new();
+        for chunk in apps.chunks(8) {
+            let mut partial = FleetAggregator::new();
+            for rec in chunk {
+                partial.fold(rec.clone());
+            }
+            root.merge(partial);
+        }
+        let streamed = root.finish(7, 100, 1);
+        assert_eq!(oracle.to_json(), streamed.to_json());
+        assert_eq!(oracle.seed_digest, streamed.seed_digest);
+        assert!(streamed.detail_truncated);
+        assert_eq!(streamed.detail.len(), DETAIL_ROWS);
+    }
+
+    #[test]
+    fn fold_and_merge_enforce_index_order() {
+        let mut agg = FleetAggregator::new();
+        agg.fold(record(0, 1.5, 1.2));
+        let out_of_order = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut agg = agg.clone();
+            agg.fold(record(2, 1.5, 1.2));
+        }));
+        assert!(out_of_order.is_err(), "gap in fold order must panic");
+
+        let mut gap = FleetAggregator::new();
+        gap.fold(record(5, 1.5, 1.2));
+        let bad_merge = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut agg = agg.clone();
+            agg.merge(gap.clone());
+        }));
+        assert!(bad_merge.is_err(), "non-contiguous merge must panic");
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_with_fixed_point_means() {
+        let values: Vec<f64> = (0..1000).map(|i| 0.5 + (i % 97) as f64 * 0.037).collect();
+        let mut whole = FixedHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        // Two very different partitions.
+        for split in [1usize, 7, 333] {
+            let mut merged = FixedHistogram::new();
+            for chunk in values.chunks(split) {
+                let mut part = FixedHistogram::new();
+                for &v in chunk {
+                    part.record(v);
+                }
+                merged.merge(&part);
+            }
+            assert_eq!(whole, merged, "partition by {split} changed the state");
+            assert_eq!(whole.mean().to_bits(), merged.mean().to_bits());
+        }
     }
 
     #[test]
@@ -478,9 +1037,12 @@ mod tests {
         let report = FleetReport::from_records(7, 100, 2, vec![record(0, 2.0, 1.5)]);
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema\":\"slimstart-fleet-report/v2\""));
         assert!(json.contains("\"fleet_size\":1"));
         assert!(json.contains("\"runs\":2"));
         assert!(json.contains("\"code\":\"X-0\""));
+        assert!(json.contains("\"seed_digest\":"));
+        assert!(json.contains("\"detail_truncated\":false"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -488,8 +1050,11 @@ mod tests {
     #[test]
     fn empty_fleet_serializes() {
         let report = FleetReport::from_records(7, 100, 1, Vec::new());
-        assert!(report.to_json().contains("\"apps\":[]"));
+        assert!(report.to_json().contains("\"detail\":[]"));
         assert_eq!(report.init_speedup.mean, 0.0);
+        assert_eq!(report.fleet_size, 0);
+        let streamed = FleetAggregator::new().finish(7, 100, 1);
+        assert_eq!(report.to_json(), streamed.to_json());
     }
 
     #[test]
@@ -518,7 +1083,7 @@ mod tests {
             degradation: "rolled-back",
             recovered: false,
         });
-        let report = FleetReport::from_records(7, 100, 1, vec![a, b]);
+        let report = FleetReport::from_records(7, 100, 1, vec![a.clone(), b.clone()]);
         let summary = report.chaos.unwrap();
         assert_eq!(summary.faulted, 2);
         assert_eq!(summary.recovered, 1);
@@ -530,5 +1095,39 @@ mod tests {
         assert!(json.contains("\"degradation\":\"rolled-back\""));
         assert!(report.render_text().contains("chaos: 13 faults injected"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // The streaming path aggregates chaos identically.
+        let mut agg = FleetAggregator::new();
+        agg.fold(a);
+        agg.fold(b);
+        assert_eq!(agg.finish(7, 100, 1).to_json(), json);
+    }
+
+    #[test]
+    fn detail_window_is_capped_and_constant_memory() {
+        let mut agg = FleetAggregator::new();
+        for i in 0..10_000 {
+            agg.fold(record(i, 1.5, 1.2));
+        }
+        let bytes = agg.approx_bytes();
+        assert!(
+            bytes < 64 * 1024,
+            "aggregate state must stay small at 10k apps, got {bytes}"
+        );
+        let report = agg.finish(7, 100, 1);
+        assert_eq!(report.fleet_size, 10_000);
+        assert_eq!(report.detail.len(), DETAIL_ROWS);
+        assert!(report.detail_truncated);
+    }
+
+    #[test]
+    fn quantiles_are_clamped_into_the_observed_range() {
+        let mut hist = FixedHistogram::new();
+        hist.record(1.59);
+        let d = SpeedupDistribution::from_histogram(&hist);
+        assert_eq!(d.median, 1.59);
+        assert_eq!(d.p99, 1.59);
+        assert_eq!(d.min, 1.59);
+        assert_eq!(d.max, 1.59);
     }
 }

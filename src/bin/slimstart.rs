@@ -30,20 +30,35 @@
 //!     --threads <T>                         worker threads (default: cores)
 //!     --runs <R>                            averaged runs per app (default 1)
 //!     --seed <S> / --cold-starts <N>        experiment parameters
+//!     --light                               cycle the 5 lightweight fixture
+//!                                           apps instead of the full catalog
+//!                                           (sub-ms each; use for 10k+ runs)
+//!     --chunk <C>                           population indices per
+//!                                           work-stealing chunk (default 32)
+//!     --stall-us <U>                        per-app stall workers overlap
+//!                                           (modeled collector/deploy
+//!                                           round-trip; default 0)
 //!     --json                                machine-readable output
 //! slimstart chaos [options]                 fleet run under fault injection
 //!     --fault-rate <P>                      per-event fault probability
 //!                                           (default: $SLIMSTART_FAULT_RATE
 //!                                           or 0.1)
-//!     --apps/--threads/--runs/--seed/--cold-starts/--json as for `fleet`
+//!     --apps/--threads/--runs/--seed/--cold-starts/--light/--chunk/
+//!     --stall-us/--json as for `fleet`
 //! slimstart bench [options]                 hot-path micro-benchmarks
 //!     --smoke                               tiny iteration counts (CI)
 //!     --seed <S>                            bench seed (default 2025)
 //!     --threads <T>                         fleet sweep max threads
+//!     --fleet-apps <N>                      override the fleet sweep size
+//!                                           (default 10000; 240 in smoke)
 //!     --out <PATH>                          also write the JSON report here
 //!     --check                               fail if any current path runs
 //!                                           >3x slower than its in-run
-//!                                           legacy baseline (CI perf gate)
+//!                                           legacy baseline, the fleet
+//!                                           report is not byte-identical
+//!                                           across thread counts, or the
+//!                                           sweep shows no parallel scaling
+//!                                           (CI perf gate)
 //! slimstart help                            this text
 //! ```
 //!
@@ -126,9 +141,9 @@ USAGE:
     slimstart source <CODE> <MODULE>
     slimstart graph <CODE> [--optimized] [--seed S]
     slimstart trace [--seed S]
-    slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
-    slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--json]
-    slimstart bench [--smoke] [--seed S] [--threads T] [--out PATH] [--check]
+    slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--json]
+    slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--json]
+    slimstart bench [--smoke] [--seed S] [--threads T] [--fleet-apps N] [--out PATH] [--check]
     slimstart help
 
 Run `cargo bench -p slimstart-bench` to regenerate every paper table/figure."
@@ -453,8 +468,9 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses the flags `fleet` and `chaos` share into a [`FleetConfig`].
-fn parse_fleet_config(args: &[String]) -> Result<FleetConfig, String> {
+/// Parses the flags `fleet` and `chaos` share into a [`FleetConfig`] plus
+/// the `--light` population switch.
+fn parse_fleet_config(args: &[String]) -> Result<(FleetConfig, bool), String> {
     let apps = flag_value(args, "--apps")?.unwrap_or(22) as usize;
     let threads = match flag_value(args, "--threads")? {
         Some(t) => t as usize,
@@ -465,21 +481,35 @@ fn parse_fleet_config(args: &[String]) -> Result<FleetConfig, String> {
     let seed = flag_value(args, "--seed")?.unwrap_or(2025);
     let cold_starts = flag_value(args, "--cold-starts")?.unwrap_or(500) as usize;
     let runs = flag_value(args, "--runs")?.unwrap_or(1) as usize;
+    let chunk = flag_value(args, "--chunk")?.unwrap_or(32) as usize;
+    let stall_us = flag_value(args, "--stall-us")?.unwrap_or(0);
+    let light = args.iter().any(|a| a == "--light");
     if apps == 0 {
         return Err("--apps must be at least 1".to_string());
     }
-    Ok(FleetConfig::default()
+    if chunk == 0 {
+        return Err("--chunk must be at least 1".to_string());
+    }
+    let config = FleetConfig::default()
         .with_apps(apps)
         .with_threads(threads.max(1))
         .with_seed(seed)
         .with_cold_starts(cold_starts)
-        .with_runs(runs.max(1)))
+        .with_runs(runs.max(1))
+        .with_chunk(chunk)
+        .with_stall_micros(stall_us);
+    Ok((config, light))
 }
 
-fn run_fleet(config: FleetConfig, json: bool) -> Result<(), String> {
-    let (report, stats) = FleetOrchestrator::new(config)
-        .run()
-        .map_err(|e| e.to_string())?;
+fn run_fleet(config: FleetConfig, light: bool, json: bool) -> Result<(), String> {
+    let orchestrator = FleetOrchestrator::new(config);
+    let result = if light {
+        let population = slimstart::appmodel::catalog::light_population(orchestrator.config().apps);
+        orchestrator.run_population(&population)
+    } else {
+        orchestrator.run()
+    };
+    let (report, stats) = result.map_err(|e| e.to_string())?;
 
     if json {
         // Wall-clock stats stay on stderr: stdout is the deterministic,
@@ -495,7 +525,8 @@ fn run_fleet(config: FleetConfig, json: bool) -> Result<(), String> {
 
 fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let json = args.iter().any(|a| a == "--json");
-    run_fleet(parse_fleet_config(args)?, json)
+    let (config, light) = parse_fleet_config(args)?;
+    run_fleet(config, light, json)
 }
 
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
@@ -512,8 +543,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     if !(0.0..=1.0).contains(&rate) {
         return Err("--fault-rate must be within [0, 1]".to_string());
     }
-    let config = parse_fleet_config(args)?.with_chaos(ChaosConfig::uniform(rate));
-    run_fleet(config, json)
+    let (config, light) = parse_fleet_config(args)?;
+    run_fleet(config.with_chaos(ChaosConfig::uniform(rate)), light, json)
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
@@ -525,10 +556,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
     };
+    let fleet_apps = flag_value(args, "--fleet-apps")?.map(|n| n as usize);
     let config = slimstart::bench::BenchConfig {
         smoke,
         seed,
         threads,
+        fleet_apps,
     };
     let report = slimstart::bench::hotpath::run(&config);
     print!("{}", report.render_text());
@@ -543,7 +576,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--check") {
         report.check_regressions()?;
-        println!("perf gate: every current path within 3x of its in-run baseline");
+        println!(
+            "perf gate: every current path within 3x of its in-run baseline; \
+             fleet reports byte-identical across the thread sweep"
+        );
     }
     Ok(())
 }

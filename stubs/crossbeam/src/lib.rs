@@ -1,9 +1,18 @@
-//! Offline stand-in for `crossbeam`, covering only `crossbeam::channel`.
+//! Offline stand-in for `crossbeam`, covering `crossbeam::channel` and
+//! `crossbeam::deque`.
 //!
 //! `std::sync::mpsc` provides the exact semantics the workspace needs
 //! from an unbounded crossbeam channel: cloneable senders, blocking
 //! receiver iteration that ends when every sender drops, and
 //! `send() -> Result`.
+//!
+//! The `deque` module mirrors crossbeam-deque's work-stealing API
+//! surface (`Injector`/`Worker`/`Stealer`/`Steal`) over locked
+//! `VecDeque`s. The fleet orchestrator schedules *chunks* of dozens of
+//! applications per queue item, so queue operations are micro-rare next
+//! to the work they hand out and lock-based queues lose nothing
+//! measurable to the real Chase–Lev deque — while keeping the stub
+//! dependency-free and obviously correct.
 
 pub mod channel {
     pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
@@ -11,6 +20,251 @@ pub mod channel {
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+}
+
+pub mod deque {
+    //! Work-stealing queues: a global [`Injector`], per-worker
+    //! [`Worker`] deques, and cloneable [`Stealer`] handles.
+    //!
+    //! Semantics match crossbeam-deque where the workspace relies on
+    //! them: the owning worker pushes at the back and pops FIFO at the
+    //! front, stealers take from the opposite (back) end, and
+    //! [`Injector::steal_batch_and_pop`] moves a batch into the worker
+    //! atomically (an observer never sees the batch "in flight"
+    //! belonging to neither queue).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Items an [`Injector::steal_batch_and_pop`] call moves into the
+    /// destination worker beyond the one it returns.
+    const BATCH: usize = 3;
+
+    /// The outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; retry may succeed. The lock-based
+        /// stub never loses races, but callers written against the real
+        /// crossbeam API must still handle it.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+    }
+
+    fn lock<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A global FIFO queue every worker can steal from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends a task at the back.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks, moving all but the returned one into
+        /// `dest`. Both queues are locked for the move, so no observer
+        /// can catch the batch in neither queue.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = lock(&self.queue);
+            let Some(task) = queue.pop_front() else {
+                return Steal::Empty;
+            };
+            let mut local = lock(&dest.inner);
+            for _ in 0..BATCH.min(queue.len()) {
+                if let Some(extra) = queue.pop_front() {
+                    local.push_back(extra);
+                }
+            }
+            Steal::Success(task)
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    /// A worker's own deque: the owner pushes at the back and pops at
+    /// the front, stealers take from the back.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.inner).push_back(task);
+        }
+
+        /// Pops a task from the owner's end (FIFO order, matching
+        /// `new_fifo`: oldest local task first).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.inner).pop_front()
+        }
+
+        /// A handle other workers use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+
+        /// Observed queue length.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Worker::new_fifo()
+        }
+    }
+
+    /// A cloneable handle that steals from the far end of a [`Worker`].
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_back() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod deque_tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn batch_steal_moves_extras_into_the_worker() {
+        let injector = Injector::new();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        let worker = Worker::new_fifo();
+        assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Success(0));
+        // One returned, BATCH moved locally.
+        assert_eq!(worker.len(), 3);
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(worker.pop(), Some(3));
+        assert_eq!(worker.pop(), None);
+        assert!(!injector.is_empty());
+    }
+
+    #[test]
+    fn stealer_takes_from_the_opposite_end() {
+        let worker = Worker::new_fifo();
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        let stealer = worker.stealer();
+        assert_eq!(stealer.steal(), Steal::Success(3));
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(stealer.clone().steal(), Steal::Success(2));
+        assert_eq!(stealer.steal(), Steal::Empty);
+        assert!(worker.is_empty() && stealer.is_empty());
+    }
+
+    #[test]
+    fn every_task_is_taken_exactly_once_across_racing_stealers() {
+        let injector = std::sync::Arc::new(Injector::new());
+        for i in 0..1000u32 {
+            injector.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let injector = std::sync::Arc::clone(&injector);
+            handles.push(std::thread::spawn(move || {
+                let worker = Worker::new_fifo();
+                let mut got = Vec::new();
+                loop {
+                    if let Some(task) = worker.pop() {
+                        got.push(task);
+                        continue;
+                    }
+                    match injector.steal_batch_and_pop(&worker) {
+                        Steal::Success(task) => got.push(task),
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stealer thread completes"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
     }
 }
 
