@@ -14,13 +14,15 @@ cargo test -q
 
 # The conformance suites guard the chaos-off byte-identity contract, the
 # fault-injection invariants, the anti-pattern lint/auto-fix contract, the
-# fleet scale-out determinism cells and the streaming-vs-retained oracle
-# differential; run them by name so a test-harness filter or workspace
-# reshuffle can never silently drop them from the gate.
+# fleet scale-out determinism cells, the streaming-vs-retained oracle
+# differential and the snapshot-pool pressure invariants (lazy-restore
+# oracle, budget bound, redeploy invalidation); run them by name so a
+# test-harness filter or workspace reshuffle can never silently drop them
+# from the gate.
 echo "==> cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints" \
-     "--test fleet_determinism --test fleet_streaming_equivalence"
+     "--test fleet_determinism --test fleet_streaming_equivalence --test snapshot_pressure"
 cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints \
-    --test fleet_determinism --test fleet_streaming_equivalence
+    --test fleet_determinism --test fleet_streaming_equivalence --test snapshot_pressure
 
 # The catalog's five below-gate fixture apps must stay lint-clean at the
 # warning level: `--deny warnings` exits 1 on any warning-or-worse
@@ -37,6 +39,9 @@ done
 # iteration counts CI-sized. --check is the perf-regression gate: the run
 # fails if any current path is more than 3x slower than its own in-run
 # reference baseline, so the gate is immune to machine-speed differences.
+# The gate also covers the snapshot_pressure sweep: the unlimited point
+# must not evict, constrained budgets must, and the tightest budget must
+# show a lower hit rate and no-better p99 cold start than unlimited.
 echo "==> slimstart bench --smoke --check"
 cargo run --release --quiet --bin slimstart -- bench --smoke --out target/bench-smoke.json --check
 

@@ -44,21 +44,25 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
+use slimstart_appmodel::app::AppBuilder;
 use slimstart_appmodel::catalog::{by_code, light_population};
+use slimstart_appmodel::function::{Stmt, StmtKind};
+use slimstart_appmodel::imports::ImportMode;
 use slimstart_appmodel::Application;
 use slimstart_core::cct::reference::ReferenceCct;
 use slimstart_core::profile::SampleRecord;
 use slimstart_core::sampler::CaptureCache;
 use slimstart_core::Cct;
-use slimstart_fleet::{FleetConfig, FleetOrchestrator};
+use slimstart_fleet::{FleetConfig, FleetOrchestrator, NodeSnapshotPool};
 use slimstart_platform::chaos::ChaosConfig;
+use slimstart_platform::{Invocation, Platform, PlatformConfig};
 use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::process::Process;
 use slimstart_pyrt::stack::{CallStack, Frame, FrameKind};
 use slimstart_simcore::event::reference::ReferenceEventQueue;
 use slimstart_simcore::event::EventQueue;
 use slimstart_simcore::rng::SimRng;
-use slimstart_simcore::time::SimTime;
+use slimstart_simcore::time::{SimDuration, SimTime};
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -147,6 +151,63 @@ pub struct FleetBench {
     pub chaos_reports_identical: bool,
 }
 
+/// One budget point of the snapshot memory-pressure sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressurePoint {
+    /// Modeled node memory budget for snapshots; `None` is unlimited.
+    pub node_budget_bytes: Option<u64>,
+    /// Snapshot restores across every app on the node.
+    pub hits: u64,
+    /// Cold starts that replayed the full loader stream.
+    pub misses: u64,
+    /// Entries evicted under budget pressure (plus redeploy invalidation,
+    /// which this sweep never triggers).
+    pub evictions: u64,
+    /// Modules faulted in lazily after a working-set restore.
+    pub faulted_loads: u64,
+    /// Bytes resident across the node's snapshot shards at end of run.
+    pub resident_bytes: u64,
+    /// p99 of cold-start init latency across all apps, microseconds.
+    pub p99_cold_us: u64,
+    /// Mean cold-start init latency, microseconds.
+    pub mean_cold_us: u64,
+}
+
+impl PressurePoint {
+    /// Snapshot hit rate in `[0, 1]`; 0.0 when nothing was consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The snapshot-pressure section: a node of apps sharing a
+/// [`NodeSnapshotPool`], swept across shrinking memory budgets. The first
+/// point is always unlimited (the calibration baseline); constrained
+/// budgets are fractions of the *measured* unlimited resident bytes, so
+/// the sweep stays meaningful if the synthetic population changes.
+#[derive(Debug, Clone)]
+pub struct SnapshotPressureBench {
+    /// Apps packed on the modeled node.
+    pub node_size: usize,
+    /// Handlers (distinct snapshot roots) per app.
+    pub handlers_per_app: usize,
+    /// Invocations per app, spaced past keep-alive so each is a cold start.
+    pub cold_starts_per_app: usize,
+    /// Resident bytes measured at the unlimited point — the base the
+    /// constrained budgets are derived from.
+    pub unlimited_resident_bytes: u64,
+    /// Sweep results, unlimited first, then descending budgets.
+    pub points: Vec<PressurePoint>,
+    /// Whether re-running the sweep's extremes with the same seed
+    /// reproduced identical counters and latencies.
+    pub rerun_identical: bool,
+}
+
 /// The harness result.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -168,6 +229,8 @@ pub struct BenchReport {
     pub event_queue: Comparison,
     /// The fleet thread sweep and its byte-identity checks.
     pub fleet: FleetBench,
+    /// The node snapshot-pool memory-budget sweep.
+    pub snapshot_pressure: SnapshotPressureBench,
 }
 
 /// Times `op` over `iters` iterations (after one warm-up call) and returns
@@ -485,6 +548,168 @@ fn bench_fleet(config: &BenchConfig) -> FleetBench {
     }
 }
 
+/// Apps packed per modeled node in the pressure sweep.
+const PRESSURE_NODE_SIZE: usize = 4;
+/// Handlers — and hence snapshot roots — per pressure app.
+const PRESSURE_HANDLERS: usize = 3;
+
+/// Builds one synthetic pressure app. Each handler pulls a hot library
+/// module (touched at runtime, so it stays in the working set) and a cold
+/// transitive module that is loaded eagerly but — except for a rare
+/// branch on handler 0 — never touched, so lazy restore omits it. Module
+/// costs and footprints vary by `slot` so the node's apps compete for the
+/// shared budget asymmetrically.
+fn pressure_app(slot: usize) -> Arc<Application> {
+    let mut b = AppBuilder::new(format!("pressure{slot}"));
+    for h in 0..PRESSURE_HANDLERS {
+        let lib = b.add_library(format!("lib{h}"));
+        let entry_mod = b.add_app_module(format!("h{h}"), SimDuration::from_millis(1), 64);
+        let hot = b.add_library_module(
+            format!("lib{h}"),
+            SimDuration::from_millis((20 + 10 * h + 5 * slot) as u64),
+            (512 + 256 * h + 128 * slot) as u64,
+            false,
+            lib,
+        );
+        let cold = b.add_library_module(
+            format!("lib{h}.cold"),
+            SimDuration::from_millis((80 + 20 * h) as u64),
+            96,
+            false,
+            lib,
+        );
+        b.add_import(entry_mod, hot, 2, ImportMode::Global)
+            .expect("import is valid");
+        b.add_import(hot, cold, 3, ImportMode::Global)
+            .expect("import is valid");
+        let mut body = vec![Stmt {
+            line: 6,
+            kind: StmtKind::Work(SimDuration::from_millis(2)),
+        }];
+        if h == 0 {
+            // Rare cold-module access: exercises the lazy-restore fault
+            // path (the module loads on first touch at real cost).
+            body.push(Stmt {
+                line: 7,
+                kind: StmtKind::Branch {
+                    probability: 0.02,
+                    body: vec![Stmt {
+                        line: 8,
+                        kind: StmtKind::Touch(cold),
+                    }],
+                },
+            });
+        }
+        let work = b.add_function(format!("work{h}"), hot, 5, body);
+        let entry = b.add_function(
+            format!("main{h}"),
+            entry_mod,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::call(work),
+            }],
+        );
+        b.add_handler(format!("main{h}"), entry);
+    }
+    Arc::new(b.finish().expect("pressure app builds"))
+}
+
+/// Runs the node once at `node_budget` and distills counters and cold-start
+/// latency percentiles. Every invocation arrives past the keep-alive
+/// window, so each is a cold start that consults the app's pool shard.
+fn pressure_point(
+    apps: &[Arc<Application>],
+    node_budget: Option<u64>,
+    seed: u64,
+    cold_starts: usize,
+) -> PressurePoint {
+    let pool = NodeSnapshotPool::new(node_budget, PRESSURE_NODE_SIZE, true);
+    let mut point = PressurePoint {
+        node_budget_bytes: node_budget,
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        faulted_loads: 0,
+        resident_bytes: 0,
+        p99_cold_us: 0,
+        mean_cold_us: 0,
+    };
+    let mut cold_us: Vec<u64> = Vec::with_capacity(apps.len() * cold_starts);
+    for (i, app) in apps.iter().enumerate() {
+        let store = pool.store_for(i);
+        let cfg = PlatformConfig::default().with_snapshot_store(Arc::clone(&store));
+        let app_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut platform = Platform::new(Arc::clone(app), cfg, app_seed);
+        let handlers: Vec<_> = (0..PRESSURE_HANDLERS)
+            .map(|h| {
+                app.handler_by_name(&format!("main{h}"))
+                    .expect("pressure handler exists")
+            })
+            .collect();
+        let invocations: Vec<Invocation> = (0..cold_starts)
+            .map(|k| Invocation {
+                at: SimTime::from_millis(k as u64 * 11 * 60 * 1000),
+                handler: handlers[k % PRESSURE_HANDLERS],
+                seed: k as u64 + 1,
+            })
+            .collect();
+        let records = platform
+            .run(&invocations)
+            .expect("pressure run is fault-free");
+        cold_us.extend(
+            records
+                .iter()
+                .filter(|r| r.cold)
+                .map(|r| r.init_latency.as_micros()),
+        );
+        let stats = store.stats();
+        point.hits += stats.hits;
+        point.misses += stats.misses;
+        point.evictions += stats.evictions;
+        point.faulted_loads += stats.faulted_loads;
+        point.resident_bytes += stats.resident_bytes;
+    }
+    cold_us.sort_unstable();
+    if !cold_us.is_empty() {
+        point.p99_cold_us = cold_us[(cold_us.len() - 1) * 99 / 100];
+        point.mean_cold_us = cold_us.iter().sum::<u64>() / cold_us.len() as u64;
+    }
+    point
+}
+
+/// The snapshot memory-pressure sweep. The unlimited point runs first and
+/// its measured resident bytes calibrate the constrained budgets (100%,
+/// 50%, 25% of that total, fair-shared across the node's shards), so
+/// pressure is guaranteed regardless of the synthetic apps' exact
+/// footprints. Both sweep extremes are re-run with the same seed to prove
+/// the counters and latency percentiles are deterministic.
+fn bench_snapshot_pressure(config: &BenchConfig) -> SnapshotPressureBench {
+    // Cold starts dominate sim time, not wall time: 400 invocations per
+    // app keeps unlimited-point misses under 1% of samples, so the p99
+    // contrast between budget points reflects steady state, not warm-up.
+    let cold_starts = 400;
+    let apps: Vec<Arc<Application>> = (0..PRESSURE_NODE_SIZE).map(pressure_app).collect();
+    let unlimited = pressure_point(&apps, None, config.seed, cold_starts);
+    let base = unlimited.resident_bytes;
+    let mut points = vec![unlimited];
+    for (num, den) in [(1u64, 1u64), (1, 2), (1, 4)] {
+        let budget = Some((base * num / den).max(1));
+        points.push(pressure_point(&apps, budget, config.seed, cold_starts));
+    }
+    let rerun_identical = pressure_point(&apps, None, config.seed, cold_starts) == points[0]
+        && pressure_point(&apps, points[3].node_budget_bytes, config.seed, cold_starts)
+            == points[3];
+    SnapshotPressureBench {
+        node_size: PRESSURE_NODE_SIZE,
+        handlers_per_app: PRESSURE_HANDLERS,
+        cold_starts_per_app: cold_starts,
+        unlimited_resident_bytes: base,
+        points,
+        rerun_identical,
+    }
+}
+
 /// Runs every measurement and assembles the report.
 pub fn run(config: &BenchConfig) -> BenchReport {
     let (sampler_iters, merge_samples, merge_iters, cold_iters, snap_iters, event_iters) =
@@ -499,6 +724,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
     let snapshot_cold_start = bench_snapshot_cold_start(snap_iters, config.seed);
     let event_queue = bench_event_queue(event_iters, config.seed);
     let fleet = bench_fleet(config);
+    let snapshot_pressure = bench_snapshot_pressure(config);
     BenchReport {
         smoke: config.smoke,
         seed: config.seed,
@@ -508,6 +734,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         snapshot_cold_start,
         event_queue,
         fleet,
+        snapshot_pressure,
     }
 }
 
@@ -596,6 +823,37 @@ impl BenchReport {
                 "fleet: scaling {scaling:.2}x below the {scaling_floor:.2}x floor"
             ));
         }
+        let sp = &self.snapshot_pressure;
+        if let (Some(first), Some(last)) = (sp.points.first(), sp.points.last()) {
+            if first.node_budget_bytes.is_some() || first.evictions != 0 {
+                offenders.push(
+                    "snapshot_pressure: unlimited point missing or evicted entries".to_string(),
+                );
+            }
+            if sp.points.iter().skip(1).map(|p| p.evictions).sum::<u64>() == 0 {
+                offenders.push(
+                    "snapshot_pressure: no constrained budget triggered eviction".to_string(),
+                );
+            }
+            if last.hit_rate() >= first.hit_rate() {
+                offenders.push(format!(
+                    "snapshot_pressure: tightest budget hit rate {:.3} not below unlimited {:.3}",
+                    last.hit_rate(),
+                    first.hit_rate()
+                ));
+            }
+            if last.p99_cold_us < first.p99_cold_us {
+                offenders.push(format!(
+                    "snapshot_pressure: tightest budget p99 {} us below unlimited {} us",
+                    last.p99_cold_us, first.p99_cold_us
+                ));
+            }
+        } else {
+            offenders.push("snapshot_pressure: sweep is empty".to_string());
+        }
+        if !sp.rerun_identical {
+            offenders.push("snapshot_pressure: rerun with the same seed diverged".to_string());
+        }
         if offenders.is_empty() {
             Ok(())
         } else {
@@ -611,7 +869,7 @@ impl BenchReport {
         use std::fmt::Write;
         let mut out = String::with_capacity(2048);
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v3\",");
+        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v4\",");
         let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         for (key, c) in self.comparisons() {
@@ -640,10 +898,40 @@ impl BenchReport {
         }
         let _ = write!(
             out,
-            "    ],\n    \"scaling\": {},\n    \"reports_identical\": {},\n    \"chaos_reports_identical\": {}\n  }}\n",
+            "    ],\n    \"scaling\": {},\n    \"reports_identical\": {},\n    \"chaos_reports_identical\": {}\n  }},\n",
             num(self.fleet_scaling()),
             self.fleet.reports_identical,
             self.fleet.chaos_reports_identical
+        );
+        let sp = &self.snapshot_pressure;
+        let _ = writeln!(
+            out,
+            "  \"snapshot_pressure\": {{\n    \"node_size\": {},\n    \"handlers_per_app\": {},\n    \"cold_starts_per_app\": {},\n    \"unlimited_resident_bytes\": {},\n    \"points\": [",
+            sp.node_size, sp.handlers_per_app, sp.cold_starts_per_app, sp.unlimited_resident_bytes
+        );
+        for (i, p) in sp.points.iter().enumerate() {
+            let budget = match p.node_budget_bytes {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "      {{\"node_budget_bytes\": {budget}, \"hit_rate\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"faulted_loads\": {}, \"resident_bytes\": {}, \"p99_cold_us\": {}, \"mean_cold_us\": {}}}{}",
+                num(p.hit_rate()),
+                p.hits,
+                p.misses,
+                p.evictions,
+                p.faulted_loads,
+                p.resident_bytes,
+                p.p99_cold_us,
+                p.mean_cold_us,
+                if i + 1 < sp.points.len() { ",\n" } else { "\n" }
+            );
+        }
+        let _ = write!(
+            out,
+            "    ],\n    \"rerun_identical\": {}\n  }}\n",
+            sp.rerun_identical
         );
         out.push_str("}\n");
         out
@@ -695,6 +983,28 @@ impl BenchReport {
             self.fleet.reports_identical,
             self.fleet.chaos_reports_identical
         );
+        let sp = &self.snapshot_pressure;
+        let _ = writeln!(
+            out,
+            "  snapshot pressure: node of {} apps x {} handlers, {} cold starts/app",
+            sp.node_size, sp.handlers_per_app, sp.cold_starts_per_app
+        );
+        for p in &sp.points {
+            let budget = match p.node_budget_bytes {
+                Some(b) => format!("{:>9} KiB", b / 1024),
+                None => "unlimited".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    budget {budget:<13} {:>5.1}% hits   p99 cold {:>8} µs   {:>4} evictions   {:>3} faults   {:>7} KiB resident",
+                p.hit_rate() * 100.0,
+                p.p99_cold_us,
+                p.evictions,
+                p.faulted_loads,
+                p.resident_bytes / 1024
+            );
+        }
+        let _ = writeln!(out, "    rerun identical: {}", sp.rerun_identical);
         out
     }
 }
@@ -867,11 +1177,121 @@ mod tests {
         assert!(report.fleet.reports_identical);
         assert!(report.fleet.chaos_reports_identical);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"slimstart-bench-hotpath/v3\""));
+        assert!(json.contains("\"schema\": \"slimstart-bench-hotpath/v4\""));
         assert!(json.contains("\"stall_us\": 200"));
         assert!(json.contains("\"reports_identical\": true"));
         assert!(json.contains("\"chaos_reports_identical\": true"));
         assert!(json.contains("\"aggregate_peak_bytes\": "));
+        assert!(json.contains("\"snapshot_pressure\""));
+        assert!(json.contains("\"node_budget_bytes\": null"));
+        assert!(json.contains("\"rerun_identical\": true"));
+    }
+
+    #[test]
+    fn snapshot_pressure_sweep_shows_budget_pressure() {
+        let sp = bench_snapshot_pressure(&smoke_config(1));
+        assert_eq!(sp.points.len(), 4);
+        let unlimited = &sp.points[0];
+        let tightest = sp.points.last().expect("sweep has points");
+        assert_eq!(unlimited.node_budget_bytes, None);
+        assert_eq!(unlimited.evictions, 0);
+        assert!(unlimited.hit_rate() > 0.9, "{:?}", unlimited);
+        assert!(
+            sp.points.iter().skip(1).any(|p| p.evictions > 0),
+            "constrained budgets must evict: {:?}",
+            sp.points
+        );
+        assert!(tightest.hit_rate() < unlimited.hit_rate());
+        assert!(tightest.p99_cold_us >= unlimited.p99_cold_us);
+        // Budgets were honored: each constrained point's resident bytes
+        // stay within its node budget.
+        for p in sp.points.iter().skip(1) {
+            let budget = p.node_budget_bytes.expect("constrained point");
+            assert!(
+                p.resident_bytes <= budget,
+                "resident {} exceeds budget {}",
+                p.resident_bytes,
+                budget
+            );
+        }
+        assert!(sp.rerun_identical);
+    }
+
+    /// A hand-built report that passes every gate, without racing real
+    /// timers — keeps the gate-tripping tests deterministic and cheap.
+    fn synthetic_report() -> BenchReport {
+        let ok = Comparison {
+            legacy_ns: 100.0,
+            current_ns: 50.0,
+            iters: 1,
+        };
+        BenchReport {
+            smoke: true,
+            seed: 7,
+            sampler: ok,
+            cct_merge: ok,
+            cold_start: ok,
+            snapshot_cold_start: ok,
+            event_queue: ok,
+            fleet: FleetBench {
+                apps: 1,
+                cold_starts: 1,
+                stall_us: 0,
+                sweep: Vec::new(),
+                reports_identical: true,
+                chaos_reports_identical: true,
+            },
+            snapshot_pressure: SnapshotPressureBench {
+                node_size: 4,
+                handlers_per_app: 3,
+                cold_starts_per_app: 4,
+                unlimited_resident_bytes: 1_000,
+                points: vec![
+                    PressurePoint {
+                        node_budget_bytes: None,
+                        hits: 9,
+                        misses: 1,
+                        evictions: 0,
+                        faulted_loads: 0,
+                        resident_bytes: 1_000,
+                        p99_cold_us: 100,
+                        mean_cold_us: 50,
+                    },
+                    PressurePoint {
+                        node_budget_bytes: Some(500),
+                        hits: 5,
+                        misses: 5,
+                        evictions: 3,
+                        faulted_loads: 1,
+                        resident_bytes: 500,
+                        p99_cold_us: 200,
+                        mean_cold_us: 80,
+                    },
+                ],
+                rerun_identical: true,
+            },
+        }
+    }
+
+    #[test]
+    fn regression_gate_trips_on_pressure_divergence() {
+        let mut report = synthetic_report();
+        report.check_regressions().expect("synthetic report passes");
+        report.snapshot_pressure.rerun_identical = false;
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("rerun with the same seed diverged"), "{err}");
+
+        let mut report = synthetic_report();
+        for p in report.snapshot_pressure.points.iter_mut().skip(1) {
+            p.evictions = 0;
+        }
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("no constrained budget"), "{err}");
+
+        let mut report = synthetic_report();
+        report.snapshot_pressure.points[1].hits = 100;
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("not below unlimited"), "{err}");
     }
 
     #[test]

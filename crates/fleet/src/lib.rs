@@ -26,9 +26,11 @@
 
 pub mod orchestrator;
 pub mod report;
+pub mod snapshot_pool;
 
 pub use orchestrator::{FleetConfig, FleetError, FleetOrchestrator, FleetRunStats, StallHook};
 pub use report::{
-    AppChaosRecord, AppRecord, FixedHistogram, FleetAggregator, FleetChaosSummary, FleetReport,
-    FleetSummary, SpeedupDistribution,
+    AppChaosRecord, AppRecord, AppSnapshotRecord, FixedHistogram, FleetAggregator,
+    FleetChaosSummary, FleetReport, FleetSnapshotSummary, FleetSummary, SpeedupDistribution,
 };
+pub use snapshot_pool::{parse_budget, NodeSnapshotPool, DEFAULT_NODE_SIZE};

@@ -44,7 +44,8 @@ use slimstart_platform::metrics::Speedup;
 use slimstart_pyrt::snapshot::SnapshotStore;
 use slimstart_simcore::SimRng;
 
-use crate::report::{AppChaosRecord, AppRecord, FleetAggregator, FleetReport};
+use crate::report::{AppChaosRecord, AppRecord, AppSnapshotRecord, FleetAggregator, FleetReport};
+use crate::snapshot_pool::NodeSnapshotPool;
 
 /// XOR tag deriving the fleet's chaos seed root from the experiment seed.
 /// Distinct from the pipeline's own chaos stream tag, so fleet-assigned
@@ -104,6 +105,10 @@ pub struct FleetConfig {
     /// Fault-injection rates. [`ChaosConfig::DISABLED`] (the default)
     /// keeps every report byte-identical to a chaos-free build.
     pub chaos: ChaosConfig,
+    /// Node-level snapshot budgeting. `None` (the default) keeps PR 5
+    /// behavior: per-app unbounded full-stream stores controlled by
+    /// `SLIMSTART_NO_SNAPSHOT`, and no snapshot counters in the report.
+    pub snapshot: Option<NodeSnapshotPool>,
 }
 
 impl fmt::Debug for FleetConfig {
@@ -118,6 +123,7 @@ impl fmt::Debug for FleetConfig {
             .field("stall", &self.stall.as_ref().map(|_| "<hook>"))
             .field("pipeline", &self.pipeline)
             .field("chaos", &self.chaos)
+            .field("snapshot", &self.snapshot)
             .finish()
     }
 }
@@ -134,6 +140,7 @@ impl Default for FleetConfig {
             stall: None,
             pipeline: PipelineConfig::default(),
             chaos: ChaosConfig::DISABLED,
+            snapshot: None,
         }
     }
 }
@@ -208,6 +215,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Installs a node-level snapshot pool (budgeted, working-set-lazy
+    /// stores plus snapshot counters in the report).
+    #[must_use]
+    pub fn with_snapshot_pool(mut self, pool: NodeSnapshotPool) -> Self {
+        self.snapshot = Some(pool);
         self
     }
 }
@@ -547,8 +562,14 @@ fn run_app(
     // One snapshot store per app, never shared across apps: restores are
     // byte-identical to replays, but keeping stores app-local means worker
     // scheduling cannot even share cache state across population indices —
-    // thread-count independence stays structural, not incidental.
-    let snapshot_store = SnapshotStore::default_for_env();
+    // thread-count independence stays structural, not incidental. With a
+    // node pool the store is the app's bounded fair share of its node's
+    // budget (explicit constructor, no env sniffing); without one it is
+    // the PR 5 unbounded default gated on `SLIMSTART_NO_SNAPSHOT`.
+    let snapshot_store = match &cfg.snapshot {
+        Some(pool) => Some(pool.store_for(index)),
+        None => SnapshotStore::default_for_env(),
+    };
     let mut speedups = Vec::with_capacity(runs);
     let mut last: Option<PipelineOutcome> = None;
     for r in 0..runs {
@@ -581,6 +602,21 @@ fn run_app(
     let rolled_back =
         (out.pre_deploy.has_errors() && out.report.gate_passed && !out.report.findings.is_empty())
             || out.resilience.degradation == DegradationLevel::RolledBack;
+    // Distill the store's counters into the record before the store
+    // drops with this app — the report is the only thing retained.
+    let snapshot = match (&cfg.snapshot, &snapshot_store) {
+        (Some(_), Some(store)) => {
+            let stats = store.stats();
+            Some(AppSnapshotRecord {
+                hits: stats.hits,
+                misses: stats.misses,
+                evictions: stats.evictions,
+                faulted_loads: stats.faulted_loads,
+                resident_bytes: stats.resident_bytes,
+            })
+        }
+        _ => None,
+    };
     let chaos = chaos_plan.map(|plan| AppChaosRecord {
         faults: plan.total_injected(),
         profile_retries: out.resilience.profile_retries,
@@ -608,6 +644,7 @@ fn run_app(
         baseline_e2e_ms: out.baseline.mean_e2e_ms,
         optimized_e2e_ms: out.optimized.mean_e2e_ms,
         chaos,
+        snapshot,
     })
 }
 
@@ -700,6 +737,36 @@ mod tests {
         assert_eq!(seq.to_json(), par.to_json());
         assert!(seq.chaos.is_some(), "chaos summary present when enabled");
         assert!(seq.to_json().contains("\"chaos\""));
+    }
+
+    #[test]
+    fn snapshot_pool_fleet_is_deterministic_across_thread_counts() {
+        let pooled = |threads: usize| {
+            FleetOrchestrator::new(
+                quick_fleet(4, threads)
+                    .config()
+                    .clone()
+                    .with_snapshot_pool(NodeSnapshotPool::new(Some(64 << 20), 2, true)),
+            )
+        };
+        let (seq, _) = pooled(1).run().unwrap();
+        let (par, _) = pooled(4).run().unwrap();
+        assert_eq!(seq.to_json(), par.to_json());
+        let snaps = seq.snapshots.expect("snapshot summary present with a pool");
+        assert!(
+            snaps.hits + snaps.misses > 0,
+            "cold starts consulted the store"
+        );
+        assert!(seq.to_json().contains("\"snapshots\""));
+        // Every detail row carries its own counters.
+        assert!(seq.detail.iter().all(|a| a.snapshot.is_some()));
+    }
+
+    #[test]
+    fn pool_free_fleet_reports_no_snapshot_counters() {
+        let (plain, _) = quick_fleet(2, 1).run().unwrap();
+        assert!(plain.snapshots.is_none());
+        assert!(!plain.to_json().contains("\"snapshots\""));
     }
 
     #[test]

@@ -36,7 +36,11 @@ use slimstart_platform::metrics::Speedup;
 
 /// Version tag leading the serialized report. Bump whenever the summary
 /// layout, histogram geometry, or scaling constants change.
-pub const REPORT_SCHEMA: &str = "slimstart-fleet-report/v2";
+///
+/// v3 added the optional snapshot-cache counters (per-app `snapshot`
+/// rows and the fleet-wide `snapshots` summary), present only when a
+/// fleet runs with a [`crate::NodeSnapshotPool`].
+pub const REPORT_SCHEMA: &str = "slimstart-fleet-report/v3";
 
 /// Per-app rows retained in the report's detail window. Fleets at or
 /// below this size keep every row; larger fleets keep the first
@@ -142,6 +146,38 @@ pub struct AppRecord {
     /// Fault-injection summary; `None` when the fleet ran without chaos,
     /// which keeps the serialized row byte-identical to chaos-free builds.
     pub chaos: Option<AppChaosRecord>,
+    /// Snapshot-cache counters; `None` when the fleet ran without a
+    /// [`crate::NodeSnapshotPool`], which keeps the serialized row
+    /// byte-identical to pool-free builds.
+    pub snapshot: Option<AppSnapshotRecord>,
+}
+
+/// One application's snapshot-cache counters (pool-enabled fleets only).
+///
+/// Counters accumulate across every measurement run of the app: the
+/// app's store spans its runs, so later runs hit snapshots captured by
+/// earlier ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppSnapshotRecord {
+    /// Cold starts served from a stored snapshot.
+    pub hits: u64,
+    /// Cold starts that had to replay the full module-load path.
+    pub misses: u64,
+    /// Entries evicted under byte pressure or fingerprint invalidation.
+    pub evictions: u64,
+    /// Modules faulted in lazily after a working-set restore.
+    pub faulted_loads: u64,
+    /// Bytes resident in the app's store shard when the app finished.
+    pub resident_bytes: u64,
+}
+
+impl AppSnapshotRecord {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"faulted_loads\":{},\"resident_bytes\":{}}}",
+            self.hits, self.misses, self.evictions, self.faulted_loads, self.resident_bytes,
+        )
+    }
 }
 
 /// One application's fault-injection summary (chaos-enabled fleets only).
@@ -209,6 +245,9 @@ impl AppRecord {
         );
         if let Some(chaos) = &self.chaos {
             let _ = write!(out, ",\"chaos\":{}", chaos.to_json());
+        }
+        if let Some(snapshot) = &self.snapshot {
+            let _ = write!(out, ",\"snapshot\":{}", snapshot.to_json());
         }
         out.push('}');
         out
@@ -501,6 +540,73 @@ impl FleetChaosSummary {
     }
 }
 
+/// Fleet-wide snapshot-cache summary (pool-enabled fleets only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetSnapshotSummary {
+    /// Total snapshot hits across the fleet.
+    pub hits: u64,
+    /// Total snapshot misses across the fleet.
+    pub misses: u64,
+    /// Total evictions (byte pressure plus fingerprint invalidation).
+    pub evictions: u64,
+    /// Total lazily faulted module loads.
+    pub faulted_loads: u64,
+    /// Sum of per-app resident shard bytes at app completion.
+    pub resident_bytes: u64,
+}
+
+impl FleetSnapshotSummary {
+    /// Aggregates the per-app snapshot rows; `None` when no row carries
+    /// one.
+    pub fn from_records(apps: &[AppRecord]) -> Option<Self> {
+        if apps.iter().all(|a| a.snapshot.is_none()) {
+            return None;
+        }
+        let mut summary = FleetSnapshotSummary::default();
+        for snap in apps.iter().filter_map(|a| a.snapshot.as_ref()) {
+            summary.fold(snap);
+        }
+        Some(summary)
+    }
+
+    /// Folds one app's snapshot row in (the streaming counterpart of
+    /// [`from_records`](Self::from_records)).
+    pub fn fold(&mut self, snapshot: &AppSnapshotRecord) {
+        self.hits += snapshot.hits;
+        self.misses += snapshot.misses;
+        self.evictions += snapshot.evictions;
+        self.faulted_loads += snapshot.faulted_loads;
+        self.resident_bytes += snapshot.resident_bytes;
+    }
+
+    /// Merges another summary in (associative and commutative).
+    pub fn merge(&mut self, other: &FleetSnapshotSummary) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.faulted_loads += other.faulted_loads;
+        self.resident_bytes += other.resident_bytes;
+    }
+
+    /// Hit fraction in [0, 1] (0.0 when no cold start consulted the
+    /// store).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"faulted_loads\":{},\"resident_bytes\":{}}}",
+            self.hits, self.misses, self.evictions, self.faulted_loads, self.resident_bytes,
+        )
+    }
+}
+
 /// Streaming fleet aggregation state: everything a [`FleetReport`] needs,
 /// in constant memory.
 ///
@@ -524,6 +630,7 @@ pub struct FleetAggregator {
     e2e: FixedHistogram,
     mem: FixedHistogram,
     chaos: Option<FleetChaosSummary>,
+    snapshots: Option<FleetSnapshotSummary>,
     seed_digest: u64,
     detail: Vec<AppRecord>,
     detail_truncated: bool,
@@ -574,6 +681,11 @@ impl FleetAggregator {
         if let Some(chaos) = &record.chaos {
             self.chaos.get_or_insert_with(Default::default).fold(chaos);
         }
+        if let Some(snapshot) = &record.snapshot {
+            self.snapshots
+                .get_or_insert_with(Default::default)
+                .fold(snapshot);
+        }
         self.seed_digest ^= seed_digest_term(record.index, record.seed);
         if record.index < DETAIL_ROWS {
             self.detail.push(record);
@@ -616,6 +728,11 @@ impl FleetAggregator {
                 .get_or_insert_with(Default::default)
                 .merge(theirs);
         }
+        if let Some(theirs) = &other.snapshots {
+            self.snapshots
+                .get_or_insert_with(Default::default)
+                .merge(theirs);
+        }
         self.seed_digest ^= other.seed_digest;
         self.detail.extend(other.detail);
         self.detail_truncated |= other.detail_truncated;
@@ -654,6 +771,7 @@ impl FleetAggregator {
             e2e_hist: self.e2e,
             mem_hist: self.mem,
             chaos: self.chaos,
+            snapshots: self.snapshots,
             detail: self.detail,
             detail_truncated: self.detail_truncated,
         }
@@ -703,6 +821,7 @@ impl FleetSummary {
             e2e_speedup: SpeedupDistribution::from_histogram(&e2e),
             mem_reduction: SpeedupDistribution::from_histogram(&mem),
             chaos: FleetChaosSummary::from_records(&apps),
+            snapshots: FleetSnapshotSummary::from_records(&apps),
             init_hist: init,
             e2e_hist: e2e,
             mem_hist: mem,
@@ -753,6 +872,9 @@ pub struct FleetReport {
     /// Fault-injection summary; `None` for chaos-free fleets, which keeps
     /// the serialized report byte-identical to chaos-free builds.
     pub chaos: Option<FleetChaosSummary>,
+    /// Snapshot-cache summary; `None` for pool-free fleets, which keeps
+    /// the serialized report byte-identical to pool-free builds.
+    pub snapshots: Option<FleetSnapshotSummary>,
     /// The first [`DETAIL_ROWS`] per-app rows, in population order.
     pub detail: Vec<AppRecord>,
     /// Whether rows beyond the detail window were summarized only.
@@ -789,6 +911,9 @@ impl FleetReport {
         );
         if let Some(chaos) = &self.chaos {
             let _ = write!(out, "\"chaos\":{},", chaos.to_json());
+        }
+        if let Some(snapshots) = &self.snapshots {
+            let _ = write!(out, "\"snapshots\":{},", snapshots.to_json());
         }
         let _ = write!(
             out,
@@ -887,6 +1012,18 @@ impl FleetReport {
                 chaos.faults_total, chaos.faulted, chaos.recovered, chaos.degraded, chaos.failed,
             );
         }
+        if let Some(snapshots) = &self.snapshots {
+            let _ = writeln!(
+                out,
+                "snapshots: {} hits | {} misses | {:.1}% hit rate | {} evictions | {} faulted loads | {} KiB resident",
+                snapshots.hits,
+                snapshots.misses,
+                snapshots.hit_rate() * 100.0,
+                snapshots.evictions,
+                snapshots.faulted_loads,
+                snapshots.resident_bytes / 1024,
+            );
+        }
         let _ = writeln!(
             out,
             "init speedup : mean {:.2}x  median {:.2}x  p90 {:.2}x  p99 {:.2}x",
@@ -945,6 +1082,7 @@ mod tests {
             baseline_e2e_ms: 500.0,
             optimized_e2e_ms: 500.0 / e2e,
             chaos: None,
+            snapshot: None,
         }
     }
 
@@ -1037,7 +1175,7 @@ mod tests {
         let report = FleetReport::from_records(7, 100, 2, vec![record(0, 2.0, 1.5)]);
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema\":\"slimstart-fleet-report/v2\""));
+        assert!(json.contains("\"schema\":\"slimstart-fleet-report/v3\""));
         assert!(json.contains("\"fleet_size\":1"));
         assert!(json.contains("\"runs\":2"));
         assert!(json.contains("\"code\":\"X-0\""));
@@ -1101,6 +1239,59 @@ mod tests {
         agg.fold(a);
         agg.fold(b);
         assert_eq!(agg.finish(7, 100, 1).to_json(), json);
+    }
+
+    #[test]
+    fn pool_free_report_omits_every_snapshot_key() {
+        let report = FleetReport::from_records(7, 100, 1, vec![record(0, 2.0, 1.5)]);
+        assert!(report.snapshots.is_none());
+        assert!(!report.to_json().contains("snapshot"));
+        assert!(!report.render_text().contains("snapshots"));
+    }
+
+    #[test]
+    fn snapshot_rows_serialize_and_aggregate() {
+        let mut a = record(0, 2.0, 1.5);
+        a.snapshot = Some(AppSnapshotRecord {
+            hits: 9,
+            misses: 1,
+            evictions: 2,
+            faulted_loads: 3,
+            resident_bytes: 4096,
+        });
+        let mut b = record(1, 1.0, 1.0);
+        b.snapshot = Some(AppSnapshotRecord {
+            hits: 1,
+            misses: 3,
+            evictions: 0,
+            faulted_loads: 0,
+            resident_bytes: 1024,
+        });
+        let report = FleetReport::from_records(7, 100, 1, vec![a.clone(), b.clone()]);
+        let summary = report.snapshots.unwrap();
+        assert_eq!(summary.hits, 10);
+        assert_eq!(summary.misses, 4);
+        assert_eq!(summary.evictions, 2);
+        assert_eq!(summary.faulted_loads, 3);
+        assert_eq!(summary.resident_bytes, 5120);
+        assert!((summary.hit_rate() - 10.0 / 14.0).abs() < 1e-12);
+        let json = report.to_json();
+        assert!(json.contains("\"snapshots\":{\"hits\":10"));
+        assert!(json.contains("\"snapshot\":{\"hits\":9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = report.render_text();
+        assert!(text.contains("snapshots: 10 hits | 4 misses | 71.4% hit rate"));
+
+        // The streaming path aggregates snapshot counters identically.
+        let mut agg = FleetAggregator::new();
+        agg.fold(a);
+        agg.fold(b);
+        assert_eq!(agg.finish(7, 100, 1).to_json(), json);
+    }
+
+    #[test]
+    fn empty_snapshot_summary_hit_rate_is_zero() {
+        assert_eq!(FleetSnapshotSummary::default().hit_rate(), 0.0);
     }
 
     #[test]

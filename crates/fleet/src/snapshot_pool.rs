@@ -1,0 +1,229 @@
+//! Node-level snapshot budgeting for fleet runs.
+//!
+//! PR 5 gave every app an unbounded, full-stream [`SnapshotStore`]; at
+//! the ROADMAP's "millions of users" scale that models a node with
+//! infinite memory. A [`NodeSnapshotPool`] instead models each node's
+//! snapshot cache as a finite byte budget that the applications packed
+//! onto that node must share, so large fleets have to choose which apps
+//! stay snapshot-warm.
+//!
+//! ## Static fair-share sharding
+//!
+//! Apps are packed onto nodes by population index (`node = index /
+//! node_size`), and a node's budget is split into equal per-app shards
+//! up front. Each app then gets a *private* bounded store sized to its
+//! shard ([`NodeSnapshotPool::store_for`]) rather than a handle to one
+//! mutable node-wide cache. This is deliberate: the fleet's byte-identity
+//! contract says `--threads 1` and `--threads 8` produce identical
+//! reports, and a store whose eviction order depended on which worker
+//! touched it first would break that *structurally*, not just
+//! numerically. Fair-share shards keep the node budget honest — the sum
+//! of shard budgets never exceeds the node budget — while keeping every
+//! eviction decision a pure function of (population index, seed).
+//!
+//! The pool is a factory, not a registry: stores are created in
+//! `run_app`, their counters are distilled into the app's
+//! [`crate::report::AppSnapshotRecord`], and the store drops with the
+//! app. Nothing snapshot-related is retained per app at 10k scale.
+
+use std::sync::Arc;
+
+use slimstart_pyrt::snapshot::SnapshotStore;
+
+/// Default applications packed per modeled node.
+pub const DEFAULT_NODE_SIZE: usize = 8;
+
+/// Snapshot policy for a fleet run: how much node memory the snapshot
+/// cache may use, how apps are packed onto nodes, and whether restores
+/// replay the recorded working set lazily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSnapshotPool {
+    /// Modeled per-node snapshot budget in bytes; `None` is unlimited.
+    node_budget_bytes: Option<u64>,
+    /// Applications packed per node (clamped to at least 1).
+    node_size: usize,
+    /// Whether restores replay only the recorded working set eagerly,
+    /// faulting the rest in on first use (REAP-style).
+    lazy_restore: bool,
+}
+
+impl Default for NodeSnapshotPool {
+    fn default() -> Self {
+        NodeSnapshotPool {
+            node_budget_bytes: None,
+            node_size: DEFAULT_NODE_SIZE,
+            lazy_restore: true,
+        }
+    }
+}
+
+impl NodeSnapshotPool {
+    /// Creates a pool with the given node budget (`None` = unlimited),
+    /// node size, and restore mode.
+    pub fn new(node_budget_bytes: Option<u64>, node_size: usize, lazy_restore: bool) -> Self {
+        NodeSnapshotPool {
+            node_budget_bytes,
+            node_size: node_size.max(1),
+            lazy_restore,
+        }
+    }
+
+    /// Sets the per-node byte budget.
+    #[must_use]
+    pub fn with_node_budget(mut self, bytes: Option<u64>) -> Self {
+        self.node_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets how many apps share a node.
+    #[must_use]
+    pub fn with_node_size(mut self, node_size: usize) -> Self {
+        self.node_size = node_size.max(1);
+        self
+    }
+
+    /// Sets the restore mode (`false` = PR 5 full-stream replay).
+    #[must_use]
+    pub fn with_lazy_restore(mut self, lazy: bool) -> Self {
+        self.lazy_restore = lazy;
+        self
+    }
+
+    /// The modeled per-node budget in bytes (`None` = unlimited).
+    pub fn node_budget_bytes(&self) -> Option<u64> {
+        self.node_budget_bytes
+    }
+
+    /// Applications packed per node.
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    /// Whether restores are working-set lazy.
+    pub fn lazy_restore(&self) -> bool {
+        self.lazy_restore
+    }
+
+    /// The node a population index lands on.
+    pub fn node_of(&self, index: usize) -> usize {
+        index / self.node_size
+    }
+
+    /// Nodes a fleet of `apps` applications occupies.
+    pub fn nodes_for(&self, apps: usize) -> usize {
+        apps.div_ceil(self.node_size)
+    }
+
+    /// One app's fair share of the node budget. Integer division floors,
+    /// so `node_size * shard_budget <= node_budget` always holds — the
+    /// modeled node can never be oversubscribed by rounding.
+    pub fn shard_budget_bytes(&self) -> Option<u64> {
+        self.node_budget_bytes.map(|b| b / self.node_size as u64)
+    }
+
+    /// Builds the bounded store for one application. The population
+    /// index only selects the node for accounting; every shard on a node
+    /// is interchangeable, which is what keeps eviction order a pure
+    /// function of the app's own event stream.
+    pub fn store_for(&self, _index: usize) -> Arc<SnapshotStore> {
+        Arc::new(SnapshotStore::with_limits(
+            self.shard_budget_bytes(),
+            self.lazy_restore,
+        ))
+    }
+}
+
+/// Parses a human byte-budget string: a plain integer is bytes, and a
+/// `k`/`m`/`g` suffix (case-insensitive, optionally followed by `b` or
+/// `ib`) scales by binary powers. `"0"` and `"unlimited"` mean no limit.
+///
+/// # Errors
+///
+/// Returns a description of the malformed input.
+pub fn parse_budget(s: &str) -> Result<Option<u64>, String> {
+    let raw = s.trim().to_ascii_lowercase();
+    if raw == "unlimited" || raw == "none" {
+        return Ok(None);
+    }
+    let (digits, scale) = match raw.find(|c: char| !c.is_ascii_digit()) {
+        None => (raw.as_str(), 1u64),
+        Some(pos) => {
+            let (digits, suffix) = raw.split_at(pos);
+            let scale = match suffix {
+                "k" | "kb" | "kib" => 1u64 << 10,
+                "m" | "mb" | "mib" => 1u64 << 20,
+                "g" | "gb" | "gib" => 1u64 << 30,
+                _ => return Err(format!("unrecognized byte suffix '{suffix}' in '{s}'")),
+            };
+            (digits, scale)
+        }
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("invalid byte budget '{s}'"))?;
+    let bytes = n
+        .checked_mul(scale)
+        .ok_or_else(|| format!("byte budget '{s}' overflows u64"))?;
+    Ok((bytes > 0).then_some(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_share_never_oversubscribes_the_node() {
+        for budget in [1u64, 1000, 1 << 20, (1 << 30) + 7] {
+            for node_size in [1usize, 3, 8, 13] {
+                let pool = NodeSnapshotPool::new(Some(budget), node_size, true);
+                let shard = pool.shard_budget_bytes().unwrap();
+                assert!(shard * node_size as u64 <= budget);
+            }
+        }
+    }
+
+    #[test]
+    fn node_packing_is_by_index() {
+        let pool = NodeSnapshotPool::new(Some(1 << 20), 4, true);
+        assert_eq!(pool.node_of(0), 0);
+        assert_eq!(pool.node_of(3), 0);
+        assert_eq!(pool.node_of(4), 1);
+        assert_eq!(pool.nodes_for(0), 0);
+        assert_eq!(pool.nodes_for(4), 1);
+        assert_eq!(pool.nodes_for(5), 2);
+    }
+
+    #[test]
+    fn stores_inherit_shard_budget_and_mode() {
+        let pool = NodeSnapshotPool::new(Some(8192), 4, true);
+        let store = pool.store_for(2);
+        assert_eq!(store.budget_bytes(), Some(2048));
+        assert!(store.lazy_restore());
+
+        let eager = NodeSnapshotPool::new(None, 4, false);
+        let store = eager.store_for(0);
+        assert_eq!(store.budget_bytes(), None);
+        assert!(!store.lazy_restore());
+    }
+
+    #[test]
+    fn node_size_is_clamped_to_one() {
+        let pool = NodeSnapshotPool::new(Some(100), 0, true);
+        assert_eq!(pool.node_size(), 1);
+        assert_eq!(pool.shard_budget_bytes(), Some(100));
+    }
+
+    #[test]
+    fn budget_parsing_accepts_suffixes_and_sentinels() {
+        assert_eq!(parse_budget("4096"), Ok(Some(4096)));
+        assert_eq!(parse_budget("64k"), Ok(Some(64 << 10)));
+        assert_eq!(parse_budget("8M"), Ok(Some(8 << 20)));
+        assert_eq!(parse_budget("2GiB"), Ok(Some(2 << 30)));
+        assert_eq!(parse_budget("512kb"), Ok(Some(512 << 10)));
+        assert_eq!(parse_budget("0"), Ok(None));
+        assert_eq!(parse_budget("unlimited"), Ok(None));
+        assert!(parse_budget("12q").is_err());
+        assert!(parse_budget("").is_err());
+        assert!(parse_budget("999999999999g").is_err());
+    }
+}

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use slimstart_appmodel::Application;
 use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::process::Process;
+use slimstart_pyrt::snapshot::{Snapshot, SnapshotKey};
 use slimstart_simcore::time::{SimDuration, SimTime};
 
 /// A provisioned container holding a live runtime process.
@@ -19,6 +20,10 @@ pub struct Container {
     busy_until: SimTime,
     /// When the container last finished serving (for keep-alive).
     last_used: SimTime,
+    /// The snapshot this container's cold start went through (restored or
+    /// freshly captured), so post-invocation working-set refinements know
+    /// which store entry to update.
+    snapshot: Option<(SnapshotKey, Arc<Snapshot>)>,
 }
 
 impl std::fmt::Debug for Container {
@@ -53,7 +58,18 @@ impl Container {
             process: Process::with_plan(app, plan, time_scale),
             busy_until: provisioned_at,
             last_used: provisioned_at,
+            snapshot: None,
         }
+    }
+
+    /// Remembers the snapshot this container cold-started through.
+    pub fn set_snapshot(&mut self, key: SnapshotKey, snapshot: Arc<Snapshot>) {
+        self.snapshot = Some((key, snapshot));
+    }
+
+    /// The snapshot this container cold-started through, if any.
+    pub fn snapshot(&self) -> Option<&(SnapshotKey, Arc<Snapshot>)> {
+        self.snapshot.as_ref()
     }
 
     /// The container's id.

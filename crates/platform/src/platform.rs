@@ -158,6 +158,13 @@ impl Platform {
     pub fn new(app: Arc<Application>, config: PlatformConfig, seed: u64) -> Self {
         let plan = Arc::new(LoaderPlan::build(&app));
         let snapshot_fingerprint = Self::fingerprint(&app, &config);
+        // Redeploy invalidation: entries from other deployment generations
+        // of a shared store are dead weight (their fingerprints can never
+        // be looked up again by this platform), so evict them instead of
+        // letting them occupy pool budget.
+        if let Some(store) = &config.snapshot_store {
+            store.invalidate_stale(snapshot_fingerprint);
+        }
         Platform {
             app,
             plan,
@@ -199,25 +206,51 @@ impl Platform {
     /// Cold-starts `container`'s process for `root`, restoring a memoized
     /// snapshot when one exists for this deployment. Observed processes
     /// always replay for real — the profiler must see every advance — and
-    /// unobserved replays are byte-identical either way, so records, load
-    /// events and golden reports cannot tell the paths apart.
+    /// unobserved full-stream replays are byte-identical either way, so
+    /// records, load events and golden reports cannot tell the paths
+    /// apart. A lazy-restore store additionally replays only the recorded
+    /// working set, modeling a REAP-style restore: the cold start gets
+    /// cheaper and omitted modules fault in at first use.
     fn cold_start_container(
         &self,
         container: &mut Container,
         root: ModuleId,
+        now: SimTime,
     ) -> Result<SimDuration, RuntimeFault> {
-        let process = container.process_mut();
         let store = match &self.config.snapshot_store {
-            Some(store) if !process.has_observer() => store,
-            _ => return process.cold_start(root),
+            Some(store) if !container.process().has_observer() => store,
+            _ => return container.process_mut().cold_start(root),
         };
         let key = SnapshotKey::new(root, self.snapshot_fingerprint);
-        if let Some(snapshot) = store.get(&key) {
-            return Ok(process.restore_snapshot(&snapshot));
+        if let Some(snapshot) = store.get(&key, now) {
+            let load = if store.lazy_restore() {
+                container.process_mut().restore_snapshot_lazy(&snapshot)
+            } else {
+                container.process_mut().restore_snapshot(&snapshot)
+            };
+            container.set_snapshot(key, snapshot);
+            return Ok(load);
         }
-        let load = process.cold_start(root)?;
-        store.insert(key, process.capture_snapshot());
+        let load = container.process_mut().cold_start(root)?;
+        let snapshot = store.insert(key, container.process().capture_snapshot(), now);
+        container.set_snapshot(key, snapshot);
         Ok(load)
+    }
+
+    /// Post-invocation bookkeeping for working-set stores: charges the
+    /// lazily-faulted loads this invocation paid and refines the stored
+    /// working set with what the handler has touched. Full-stream stores
+    /// skip all of it (nothing is ever omitted, so nothing can fault).
+    fn refine_snapshot(store: &SnapshotStore, container: &mut Container, now: SimTime) {
+        if !store.lazy_restore() {
+            return;
+        }
+        let Some((key, snapshot)) = container.snapshot().cloned() else {
+            return;
+        };
+        store.record_faults(container.process_mut().take_faulted_loads());
+        let working = container.process().working_set_for(&snapshot);
+        store.refine(&key, &working, now);
     }
 
     /// The deployed application.
@@ -276,7 +309,7 @@ impl Platform {
             }
             let provision = self.config.provision_cost.mul_f64(time_scale);
             let runtime_startup = self.config.runtime_startup_cost.mul_f64(time_scale);
-            let load = self.cold_start_container(&mut container, root)?;
+            let load = self.cold_start_container(&mut container, root, SimTime::ZERO)?;
             // The container is busy until its warm-up completes.
             container.occupy(SimTime::ZERO, provision + runtime_startup + load);
             self.note_occupied(container.busy_until());
@@ -373,6 +406,9 @@ impl Platform {
             .expect("warm container exists");
         let mut inv_rng = SimRng::seed_from(inv.seed);
         let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
+        if let Some(store) = &self.config.snapshot_store {
+            Self::refine_snapshot(store, container, inv.at);
+        }
         container.occupy(inv.at, outcome.exec_time);
         let busy_until = container.busy_until();
         self.note_occupied(busy_until);
@@ -439,11 +475,14 @@ impl Platform {
         let provision = self.config.provision_cost.mul_f64(time_scale);
         let runtime_startup = self.config.runtime_startup_cost.mul_f64(time_scale);
         let root = self.app.handler_module(inv.handler);
-        let load = self.cold_start_container(&mut container, root)?;
+        let load = self.cold_start_container(&mut container, root, inv.at)?;
         let init = provision + runtime_startup + load;
 
         let mut inv_rng = SimRng::seed_from(inv.seed);
         let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
+        if let Some(store) = &self.config.snapshot_store {
+            Self::refine_snapshot(store, &mut container, inv.at);
+        }
         let e2e = wait + init + outcome.exec_time;
         container.occupy(inv.at + wait, init + outcome.exec_time);
         self.note_occupied(container.busy_until());
@@ -489,6 +528,9 @@ impl Platform {
             .expect("container exists");
         let mut inv_rng = SimRng::seed_from(inv.seed);
         let outcome = container.process_mut().invoke(inv.handler, &mut inv_rng)?;
+        if let Some(store) = &self.config.snapshot_store {
+            Self::refine_snapshot(store, container, inv.at);
+        }
         container.occupy(free_at, outcome.exec_time);
         let busy_until = container.busy_until();
         self.note_occupied(busy_until);
@@ -778,9 +820,69 @@ mod tests {
             b.add_handler("main", f);
             let optimized = Arc::new(b.finish().unwrap());
             let mut p2 = Platform::new(optimized, c, 1);
+            // Deploying the changed fingerprint evicted the stale entry
+            // outright — not just a miss.
+            assert_eq!(store.len(), 0, "redeploy must evict stale entries");
+            assert_eq!(store.evictions(), 1);
             p2.run(&[inv(0, 1)]).unwrap();
-            assert_eq!(store.len(), 2, "redeploy must not reuse old entries");
+            assert_eq!(store.len(), 1, "redeploy must not reuse old entries");
             assert_eq!(store.hits(), 0);
+        }
+
+        #[test]
+        fn lazy_store_refines_working_set_and_speeds_cold_starts() {
+            // handler calls into lib only; lib.dead is an eagerly imported
+            // module the handler never uses. After the first invocation
+            // refines the working set, later cold starts restore lazily and
+            // skip lib.dead's 200 ms — a genuinely faster modeled cold
+            // start, unlike the byte-invisible full-stream cache.
+            let mut b = AppBuilder::new("lazy");
+            let lib = b.add_library("lib");
+            let h = b.add_app_module("handler", ms(1), 100);
+            let root = b.add_library_module("lib", ms(99), 1_000, false, lib);
+            let dead = b.add_library_module("lib.dead", ms(200), 4_000, false, lib);
+            b.add_import(h, root, 2, ImportMode::Global).unwrap();
+            b.add_import(root, dead, 3, ImportMode::Global).unwrap();
+            let f_lib = b.add_function(
+                "work",
+                root,
+                5,
+                vec![Stmt {
+                    line: 6,
+                    kind: StmtKind::Work(ms(10)),
+                }],
+            );
+            let f = b.add_function(
+                "main",
+                h,
+                4,
+                vec![Stmt {
+                    line: 5,
+                    kind: StmtKind::call(f_lib),
+                }],
+            );
+            b.add_handler("main", f);
+            let app = Arc::new(b.finish().unwrap());
+
+            let store = Arc::new(SnapshotStore::with_limits(None, true));
+            let c = cfg().with_snapshot_store(Arc::clone(&store));
+            let mut p = Platform::new(Arc::clone(&app), c, 1);
+            let gap = 11 * 60 * 1000;
+            let recs = p
+                .run(&[inv(0, 1), inv(gap, 2), inv(2 * gap, 3)])
+                .unwrap()
+                .to_vec();
+            // First cold start replays everything: 1 + 99 + 200 ms.
+            assert_eq!(recs[0].load_time, ms(300));
+            // Later ones restore the refined working set: lib.dead omitted.
+            assert_eq!(recs[1].load_time, ms(100));
+            assert_eq!(recs[2].load_time, ms(100));
+            // The handler never touches lib.dead, so nothing faults.
+            assert_eq!(store.faulted_loads(), 0);
+            assert_eq!((store.hits(), store.misses()), (2, 1));
+            // Resident accounting shrank to the working set:
+            // handler (100 KiB) + lib (1000 KiB), not lib.dead's 4000.
+            assert_eq!(store.resident_bytes(), 1_100 * 1024);
         }
 
         #[test]

@@ -61,6 +61,16 @@ pub struct Process {
     /// closure fast path is a handful of word operations.
     loaded: Vec<u64>,
     loaded_count: usize,
+    /// Modules the handler actually used post-load (one bit per module
+    /// id): set on every function entry and explicit touch, cumulative
+    /// across invocations. This is the raw material of the REAP-style
+    /// working set the platform refines snapshots with.
+    touched: Vec<u64>,
+    /// Modules a lazy (working-set) restore skipped: still in the
+    /// snapshot, not in this process's module cache. A first-use load of
+    /// one of these is a working-set fault, counted in `faulted_loads`.
+    lazy_omitted: Vec<u64>,
+    faulted_loads: u64,
     load_events: Vec<LoadEvent>,
     mem_kb: u64,
     peak_mem_kb: u64,
@@ -110,15 +120,18 @@ impl Process {
             time_scale.is_finite() && time_scale > 0.0,
             "time_scale must be finite and positive"
         );
-        let loaded = vec![0u64; app.modules().len().div_ceil(64)];
+        let words = app.modules().len().div_ceil(64);
         Process {
             app,
             plan,
             time_scale,
             clock: SimTime::ZERO,
             stack: CallStack::new(),
-            loaded,
+            loaded: vec![0u64; words],
             loaded_count: 0,
+            touched: vec![0u64; words],
+            lazy_omitted: vec![0u64; words],
+            faulted_loads: 0,
             load_events: Vec::new(),
             mem_kb: 0,
             peak_mem_kb: 0,
@@ -175,8 +188,63 @@ impl Process {
 
     #[inline]
     fn mark_loaded(&mut self, module: ModuleId) {
-        self.loaded[module.index() / 64] |= 1u64 << (module.index() % 64);
+        let (word, bit) = (module.index() / 64, 1u64 << (module.index() % 64));
+        self.loaded[word] |= bit;
         self.loaded_count += 1;
+        if self.lazy_omitted[word] & bit != 0 {
+            // First use of a module a working-set restore left out: the
+            // load cost being paid right now is the fault the lazy
+            // restore deferred.
+            self.lazy_omitted[word] &= !bit;
+            self.faulted_loads += 1;
+        }
+    }
+
+    #[inline]
+    fn mark_touched(&mut self, module: ModuleId) {
+        self.touched[module.index() / 64] |= 1u64 << (module.index() % 64);
+    }
+
+    /// Bitset of modules the handler has used post-load so far (function
+    /// entries and explicit touches), cumulative across invocations.
+    pub fn touched(&self) -> &[u64] {
+        &self.touched
+    }
+
+    /// Takes (and resets) the count of working-set faults paid since the
+    /// last call: first-use loads of modules a lazy restore omitted.
+    pub fn take_faulted_loads(&mut self) -> u64 {
+        std::mem::take(&mut self.faulted_loads)
+    }
+
+    /// The modules this process has touched during handler execution,
+    /// intersected with `snapshot`'s loaded set and closed under package
+    /// ancestry — what a REAP-style restore of `snapshot` must replay
+    /// eagerly for this process's traffic. Ancestor chains are full
+    /// dotted-prefix lists, so one closure pass over the intersection is
+    /// already transitively closed.
+    pub fn working_set_for(&self, snapshot: &Snapshot) -> Vec<u64> {
+        debug_assert_eq!(self.touched.len(), snapshot.loaded.len());
+        let mut working: Vec<u64> = self
+            .touched
+            .iter()
+            .zip(snapshot.loaded.iter())
+            .map(|(t, l)| t & l)
+            .collect();
+        for word in 0..working.len() {
+            let mut bits = working[word];
+            while bits != 0 {
+                let index = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for &a in self.plan.ancestors(ModuleId::from_index(index)) {
+                    let (w, b) = (a.index() / 64, 1u64 << (a.index() % 64));
+                    if snapshot.loaded[w] & b != 0 {
+                        working[w] |= b;
+                    }
+                }
+            }
+        }
+        working
     }
 
     /// All loads performed so far, in order.
@@ -254,6 +322,9 @@ impl Process {
             loaded: self.loaded.clone().into_boxed_slice(),
             loaded_count: self.loaded_count,
             nominal_init,
+            // Unrefined: no invocation has recorded a working set yet, so
+            // restores replay the full stream until the store refines it.
+            working: None,
         }
     }
 
@@ -311,6 +382,72 @@ impl Process {
         self.mem_kb = mem_kb;
         self.loaded.copy_from_slice(&snapshot.loaded);
         self.loaded_count = snapshot.loaded_count;
+        self.bump_peak();
+        self.clock.since(start)
+    }
+
+    /// REAP-style restore: replays only the snapshot's recorded working
+    /// set eagerly (same per-load `time_scale` rounding as
+    /// [`Process::restore_snapshot`]) and leaves the remaining modules
+    /// unloaded, to be faulted in by the ordinary first-use deferred-load
+    /// path at their real init cost. Unrefined snapshots (no working set
+    /// recorded yet) fall back to the full stream.
+    ///
+    /// With a full working set this is byte-identical to
+    /// [`Process::restore_snapshot`] — the retained differential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that this process is fresh (nothing loaded) and
+    /// unobserved.
+    pub fn restore_snapshot_lazy(&mut self, snapshot: &Snapshot) -> SimDuration {
+        let Some(working) = snapshot.working.as_deref() else {
+            return self.restore_snapshot(snapshot);
+        };
+        debug_assert!(
+            self.loaded_count == 0 && self.load_events.is_empty(),
+            "snapshot restore into a non-fresh process"
+        );
+        debug_assert!(
+            self.observer.is_none(),
+            "snapshot restore into an observed process"
+        );
+        debug_assert_eq!(
+            self.loaded.len(),
+            snapshot.loaded.len(),
+            "snapshot from a different application shape"
+        );
+        let start = self.clock;
+        let scale = self.time_scale;
+        let unscaled = scale == 1.0;
+        let mut clock = self.clock;
+        let mut mem_kb = self.mem_kb;
+        let mut loaded_count = 0usize;
+        for load in snapshot.loads.iter() {
+            let (word, bit) = (load.module.index() / 64, 1u64 << (load.module.index() % 64));
+            if working[word] & bit != 0 {
+                let scaled = if unscaled {
+                    load.init_cost
+                } else {
+                    load.init_cost.mul_f64(scale)
+                };
+                clock += scaled;
+                mem_kb += load.mem_kb;
+                loaded_count += 1;
+                self.load_events.push(LoadEvent {
+                    module: load.module,
+                    at: clock,
+                    self_cost: scaled,
+                    during_init: true,
+                });
+            } else {
+                self.lazy_omitted[word] |= bit;
+            }
+        }
+        self.clock = clock;
+        self.mem_kb = mem_kb;
+        self.loaded.copy_from_slice(working);
+        self.loaded_count = loaded_count;
         self.bump_peak();
         self.clock.since(start)
     }
@@ -470,6 +607,7 @@ impl Process {
             return Err(RuntimeFault::RecursionLimit { function });
         }
         let f = app.function(function);
+        self.mark_touched(f.module());
         self.stack.push(FrameKind::Call(function), f.line());
         let result = self.exec_stmts(app, f.body(), rng, depth, deferred);
         self.stack.pop();
@@ -513,6 +651,7 @@ impl Process {
                         self.load_with_parents(app, *module);
                         *deferred += self.clock.since(t0);
                     }
+                    self.mark_touched(*module);
                 }
                 StmtKind::Branch { probability, body } => {
                     if rng.chance(*probability) {
@@ -896,6 +1035,116 @@ mod tests {
             let b = restored.invoke(h, &mut SimRng::seed_from(9)).unwrap();
             assert_eq!(a, b);
             assert_eq!(restored.load_events(), replay.load_events());
+        }
+    }
+
+    fn bit_of(app: &Application, name: &str) -> (usize, u64) {
+        let m = app.module_by_name(name).unwrap();
+        (m.index() / 64, 1u64 << (m.index() % 64))
+    }
+
+    #[test]
+    fn lazy_restore_with_full_working_set_matches_full_restore() {
+        let (app, root, h) = build_app(true);
+        let plan = Arc::new(LoaderPlan::build(&app));
+        let mut origin = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), 1.0);
+        origin.cold_start(root).unwrap();
+        let mut snapshot = origin.capture_snapshot();
+        // Full working set: the lazy path must be byte-identical to the
+        // full-stream restore — the differential oracle of this PR.
+        snapshot.working = Some(snapshot.loaded.clone());
+        for scale in [1.0, 0.5, 1.37, 2.0] {
+            let mut full = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), scale);
+            let full_init = full.restore_snapshot(&snapshot);
+            let mut lazy = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), scale);
+            let lazy_init = lazy.restore_snapshot_lazy(&snapshot);
+            assert_eq!(lazy_init, full_init, "init latency at scale {scale}");
+            assert_eq!(lazy.clock(), full.clock());
+            assert_eq!(lazy.load_events(), full.load_events());
+            assert_eq!(lazy.mem_kb(), full.mem_kb());
+            let a = full.invoke(h, &mut SimRng::seed_from(9)).unwrap();
+            let b = lazy.invoke(h, &mut SimRng::seed_from(9)).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(lazy.take_faulted_loads(), 0);
+        }
+    }
+
+    #[test]
+    fn lazy_restore_faults_omitted_modules_on_first_use() {
+        // handler -> lib -> lib.cold (all global). The working set leaves
+        // lib.cold out; its first use inside the handler pays the real
+        // load cost as a deferred load and counts one fault.
+        let mut b = AppBuilder::new("ws");
+        let lib = b.add_library("lib");
+        let hm = b.add_app_module("handler", ms(1), 128);
+        let root = b.add_library_module("lib", ms(2), 256, false, lib);
+        let cold = b.add_library_module("lib.cold", ms(50), 5_000, false, lib);
+        b.add_import(hm, root, 2, ImportMode::Global).unwrap();
+        b.add_import(root, cold, 3, ImportMode::Global).unwrap();
+        let f_cold = b.add_function(
+            "rare",
+            cold,
+            5,
+            vec![Stmt {
+                line: 6,
+                kind: StmtKind::Work(ms(1)),
+            }],
+        );
+        let f_main = b.add_function(
+            "main",
+            hm,
+            4,
+            vec![Stmt {
+                line: 5,
+                kind: StmtKind::call(f_cold),
+            }],
+        );
+        let h = b.add_handler("main", f_main);
+        let app = Arc::new(b.finish().unwrap());
+        let entry = app.module_by_name("handler").unwrap();
+
+        let mut origin = Process::new(Arc::clone(&app), 1.0);
+        assert_eq!(origin.cold_start(entry).unwrap(), ms(53));
+        let mut snapshot = origin.capture_snapshot();
+        let mut working = vec![0u64; snapshot.loaded.len()];
+        for name in ["handler", "lib"] {
+            let (w, bit) = bit_of(&app, name);
+            working[w] |= bit;
+        }
+        snapshot.working = Some(working.into_boxed_slice());
+
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        let init = p.restore_snapshot_lazy(&snapshot);
+        assert_eq!(init, ms(3)); // handler + lib only
+        assert_eq!(p.mem_kb(), 128 + 256);
+        assert!(!p.is_loaded(app.module_by_name("lib.cold").unwrap()));
+        let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        assert_eq!(out.deferred_load_time, ms(50));
+        assert_eq!(out.exec_time, ms(51));
+        assert_eq!(p.take_faulted_loads(), 1);
+        // Once faulted in, the module is warm: no further faults.
+        let again = p.invoke(h, &mut SimRng::seed_from(2)).unwrap();
+        assert_eq!(again.deferred_load_time, SimDuration::ZERO);
+        assert_eq!(p.take_faulted_loads(), 0);
+    }
+
+    #[test]
+    fn working_set_closes_touched_modules_under_ancestry() {
+        let (app, root, h) = build_app(false);
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        p.cold_start(root).unwrap();
+        let snapshot = p.capture_snapshot();
+        p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        // The handler ran work in lib.hot only; closure pulls in lib (its
+        // package ancestor) and the handler module, never the cold subtree.
+        let working = p.working_set_for(&snapshot);
+        for name in ["handler", "lib", "lib.hot"] {
+            let (w, bit) = bit_of(&app, name);
+            assert!(working[w] & bit != 0, "{name} should be in the working set");
+        }
+        for name in ["lib.cold", "lib.cold.leaf"] {
+            let (w, bit) = bit_of(&app, name);
+            assert!(working[w] & bit == 0, "{name} should be omitted");
         }
     }
 

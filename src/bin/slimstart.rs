@@ -38,6 +38,18 @@
 //!     --stall-us <U>                        per-app stall workers overlap
 //!                                           (modeled collector/deploy
 //!                                           round-trip; default 0)
+//!     --snapshot-budget <BYTES>             enable the node snapshot pool
+//!                                           with this per-node byte budget
+//!                                           (`64m`-style suffixes allowed;
+//!                                           `0`/`unlimited` = pool with no
+//!                                           byte limit; default: the
+//!                                           $SLIMSTART_SNAPSHOT_BUDGET env
+//!                                           var, else no pool). Restores
+//!                                           replay only the recorded
+//!                                           working set unless
+//!                                           $SLIMSTART_NO_LAZY_RESTORE=1.
+//!     --node-size <N>                       apps packed per modeled node
+//!                                           (default 8; needs the pool)
 //!     --json                                machine-readable output
 //! slimstart chaos [options]                 fleet run under fault injection
 //!     --fault-rate <P>                      per-event fault probability
@@ -86,7 +98,9 @@ use slimstart::core::export::outcome_to_json;
 use slimstart::core::pipeline::{Pipeline, PipelineConfig};
 use slimstart::core::report::render;
 use slimstart::core::{AutoFixStage, StageEngine};
-use slimstart::fleet::{FleetConfig, FleetOrchestrator};
+use slimstart::fleet::{
+    parse_budget, FleetConfig, FleetOrchestrator, NodeSnapshotPool, DEFAULT_NODE_SIZE,
+};
 use slimstart::platform::chaos::ChaosConfig;
 use slimstart::workload::trace::{ProductionTrace, TraceConfig};
 
@@ -141,8 +155,8 @@ USAGE:
     slimstart source <CODE> <MODULE>
     slimstart graph <CODE> [--optimized] [--seed S]
     slimstart trace [--seed S]
-    slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--json]
-    slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--json]
+    slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--snapshot-budget B] [--node-size N] [--json]
+    slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--snapshot-budget B] [--node-size N] [--json]
     slimstart bench [--smoke] [--seed S] [--threads T] [--fleet-apps N] [--out PATH] [--check]
     slimstart help
 
@@ -490,7 +504,7 @@ fn parse_fleet_config(args: &[String]) -> Result<(FleetConfig, bool), String> {
     if chunk == 0 {
         return Err("--chunk must be at least 1".to_string());
     }
-    let config = FleetConfig::default()
+    let mut config = FleetConfig::default()
         .with_apps(apps)
         .with_threads(threads.max(1))
         .with_seed(seed)
@@ -498,7 +512,33 @@ fn parse_fleet_config(args: &[String]) -> Result<(FleetConfig, bool), String> {
         .with_runs(runs.max(1))
         .with_chunk(chunk)
         .with_stall_micros(stall_us);
+    if let Some(pool) = parse_snapshot_pool(args)? {
+        config = config.with_snapshot_pool(pool);
+    } else if flag_value(args, "--node-size")?.is_some() {
+        return Err("--node-size needs the snapshot pool (pass --snapshot-budget)".to_string());
+    }
     Ok((config, light))
+}
+
+/// Resolves the node snapshot pool for `fleet`/`chaos`: the
+/// `--snapshot-budget` flag, falling back to `SLIMSTART_SNAPSHOT_BUDGET`;
+/// no pool when neither is set. `SLIMSTART_NO_LAZY_RESTORE=1` switches
+/// restores back to PR 5 full-stream replay.
+fn parse_snapshot_pool(args: &[String]) -> Result<Option<NodeSnapshotPool>, String> {
+    let budget = match flag_value_str(args, "--snapshot-budget")? {
+        Some(v) => v,
+        None => match std::env::var("SLIMSTART_SNAPSHOT_BUDGET") {
+            Ok(v) if !v.is_empty() => v,
+            _ => return Ok(None),
+        },
+    };
+    let node_budget = parse_budget(&budget)?;
+    let node_size = flag_value(args, "--node-size")?.unwrap_or(DEFAULT_NODE_SIZE as u64) as usize;
+    if node_size == 0 {
+        return Err("--node-size must be at least 1".to_string());
+    }
+    let lazy = std::env::var("SLIMSTART_NO_LAZY_RESTORE").map_or(true, |v| v != "1");
+    Ok(Some(NodeSnapshotPool::new(node_budget, node_size, lazy)))
 }
 
 fn run_fleet(config: FleetConfig, light: bool, json: bool) -> Result<(), String> {
