@@ -15,14 +15,18 @@ cargo test -q
 # The conformance suites guard the chaos-off byte-identity contract, the
 # fault-injection invariants, the anti-pattern lint/auto-fix contract, the
 # fleet scale-out determinism cells, the streaming-vs-retained oracle
-# differential and the snapshot-pool pressure invariants (lazy-restore
-# oracle, budget bound, redeploy invalidation); run them by name so a
-# test-harness filter or workspace reshuffle can never silently drop them
-# from the gate.
+# differential, the snapshot-pool pressure invariants (lazy-restore
+# oracle, budget bound, redeploy invalidation), the zygote-pool
+# dependency-sharing contract (thread-count byte identity, v3 passthrough
+# when disabled) and the eviction-order determinism property; run them by
+# name so a test-harness filter or workspace reshuffle can never silently
+# drop them from the gate.
 echo "==> cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints" \
-     "--test fleet_determinism --test fleet_streaming_equivalence --test snapshot_pressure"
+     "--test fleet_determinism --test fleet_streaming_equivalence --test snapshot_pressure" \
+     "--test dependency_sharing --test snapshot_eviction_order"
 cargo test -q --test chaos_sweep --test golden_reports --test antipattern_lints \
-    --test fleet_determinism --test fleet_streaming_equivalence --test snapshot_pressure
+    --test fleet_determinism --test fleet_streaming_equivalence --test snapshot_pressure \
+    --test dependency_sharing --test snapshot_eviction_order
 
 # The catalog's five below-gate fixture apps must stay lint-clean at the
 # warning level: `--deny warnings` exits 1 on any warning-or-worse
@@ -42,6 +46,9 @@ done
 # The gate also covers the snapshot_pressure sweep: the unlimited point
 # must not evict, constrained budgets must, and the tightest budget must
 # show a lower hit rate and no-better p99 cold start than unlimited.
+# Since PR 10 the same run gates the dependency_sharing grid: combined
+# sharing+deferral mean and p99 cold start must stay strictly below
+# deferral-only, and the sharing cells must actually fork from zygotes.
 echo "==> slimstart bench --smoke --check"
 cargo run --release --quiet --bin slimstart -- bench --smoke --out target/bench-smoke.json --check
 

@@ -34,6 +34,13 @@
 //!   Each app pays a recorded per-app stall (`stall_us`, the modeled
 //!   collector/deploy round-trip) that workers overlap, so the sweep
 //!   measures scheduler scaling honestly even on a single-core host.
+//! * **dependency_sharing** — a Table-3-style grid over the heavy
+//!   catalog: cold-start init latency under no optimization (baseline),
+//!   import deferral alone (the optimizer's shipped deployment), zygote
+//!   dependency sharing alone, and both combined. Latencies are virtual
+//!   (deterministic), so this section is a modeled-cost comparison, not
+//!   a wall-clock race; the gate requires sharing+deferral to beat
+//!   deferral alone on both mean and p99.
 //!
 //! The numbers land in a hand-rolled JSON document (same writer idiom as the
 //! fleet report) that `ci.sh` round-trips through [`validate_json`] in
@@ -45,20 +52,24 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use slimstart_appmodel::app::AppBuilder;
-use slimstart_appmodel::catalog::{by_code, light_population};
+use slimstart_appmodel::catalog::{by_code, fleet_population, light_population};
 use slimstart_appmodel::function::{Stmt, StmtKind};
 use slimstart_appmodel::imports::ImportMode;
 use slimstart_appmodel::Application;
 use slimstart_core::cct::reference::ReferenceCct;
+use slimstart_core::pipeline::{Pipeline, PipelineConfig};
 use slimstart_core::profile::SampleRecord;
 use slimstart_core::sampler::CaptureCache;
 use slimstart_core::Cct;
-use slimstart_fleet::{FleetConfig, FleetOrchestrator, NodeSnapshotPool};
+use slimstart_fleet::{
+    FleetConfig, FleetOrchestrator, NodeSnapshotPool, NodeZygotePool, ZygotePlan,
+};
 use slimstart_platform::chaos::ChaosConfig;
 use slimstart_platform::{Invocation, Platform, PlatformConfig};
 use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::process::Process;
 use slimstart_pyrt::stack::{CallStack, Frame, FrameKind};
+use slimstart_pyrt::zygote::{ZygoteCounters, ZygoteImage};
 use slimstart_simcore::event::reference::ReferenceEventQueue;
 use slimstart_simcore::event::EventQueue;
 use slimstart_simcore::rng::SimRng;
@@ -208,6 +219,59 @@ pub struct SnapshotPressureBench {
     pub rerun_identical: bool,
 }
 
+/// One cell of the dependency-sharing comparison grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharingCell {
+    /// Mean cold-start init latency across every app, microseconds.
+    pub mean_cold_us: u64,
+    /// p99 cold-start init latency, microseconds.
+    pub p99_cold_us: u64,
+    /// Cold starts that forked from a zygote (0 for unshared cells).
+    pub forks: u64,
+    /// Module loads acquired at fork cost (0 for unshared cells).
+    pub forked_loads: u64,
+}
+
+/// The dependency-sharing section: the paper's Table-3-style comparison
+/// over the heavy catalog. Each app's cold-start init latency is
+/// measured in four configurations — baseline (no optimization),
+/// deferral-only (the pipeline's shipped deployment), sharing-only
+/// (zygote forks of the unoptimized app), and both combined. All
+/// latencies are virtual-clock, so the cells are exactly reproducible;
+/// both grid extremes are re-run with the same seed to prove it.
+#[derive(Debug, Clone)]
+pub struct DependencySharingBench {
+    /// Catalog apps measured (cycling the 22-entry heavy catalog).
+    pub apps: usize,
+    /// Cold starts per app, spaced past keep-alive so each is cold.
+    pub cold_starts_per_app: usize,
+    /// Per-module fork acquisition cost used by the shared cells, µs.
+    pub fork_cost_us: u64,
+    /// No optimization.
+    pub baseline: SharingCell,
+    /// Import deferral alone.
+    pub deferral: SharingCell,
+    /// Zygote dependency sharing alone.
+    pub sharing: SharingCell,
+    /// Deferral and sharing combined.
+    pub both: SharingCell,
+    /// Whether re-running the grid's extremes with the same seed
+    /// reproduced identical cells.
+    pub rerun_identical: bool,
+}
+
+impl DependencySharingBench {
+    /// The labeled cells, in report order.
+    pub fn cells(&self) -> [(&'static str, &SharingCell); 4] {
+        [
+            ("baseline", &self.baseline),
+            ("deferral", &self.deferral),
+            ("sharing", &self.sharing),
+            ("both", &self.both),
+        ]
+    }
+}
+
 /// The harness result.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -231,6 +295,8 @@ pub struct BenchReport {
     pub fleet: FleetBench,
     /// The node snapshot-pool memory-budget sweep.
     pub snapshot_pressure: SnapshotPressureBench,
+    /// The zygote dependency-sharing comparison grid.
+    pub dependency_sharing: DependencySharingBench,
 }
 
 /// Times `op` over `iters` iterations (after one warm-up call) and returns
@@ -710,6 +776,117 @@ fn bench_snapshot_pressure(config: &BenchConfig) -> SnapshotPressureBench {
     }
 }
 
+/// Runs one cell of the sharing grid: every app gets its own platform
+/// (snapshots and jitter off, so only load costs move the numbers),
+/// optionally forking each cold start from its planned node zygote.
+/// Returns the cell's aggregate cold-start latencies and fork counters.
+fn sharing_cell(
+    apps: &[(usize, Arc<Application>)],
+    plan: Option<&ZygotePlan>,
+    seed: u64,
+    cold_starts: usize,
+) -> SharingCell {
+    let counters = Arc::new(ZygoteCounters::default());
+    let mut cold_us: Vec<u64> = Vec::with_capacity(apps.len() * cold_starts);
+    for &(index, ref app) in apps {
+        let mut cfg = PlatformConfig::default()
+            .without_jitter()
+            .without_snapshots();
+        if let Some(spec) = plan.and_then(|p| p.spec(index)) {
+            cfg = cfg.with_zygote(Arc::new(ZygoteImage::for_app(
+                app,
+                &spec.ranked,
+                spec.resident_prefix,
+                plan.expect("spec implies plan").fork_cost(),
+                Arc::clone(&counters),
+            )));
+        }
+        let app_seed = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut platform = Platform::new(Arc::clone(app), cfg, app_seed);
+        let handler = app
+            .handler_by_name("handler")
+            .expect("catalog handler exists");
+        let invocations: Vec<Invocation> = (0..cold_starts)
+            .map(|k| Invocation {
+                at: SimTime::from_millis(k as u64 * 11 * 60 * 1000),
+                handler,
+                seed: k as u64 + 1,
+            })
+            .collect();
+        let records = platform
+            .run(&invocations)
+            .expect("sharing run is fault-free");
+        cold_us.extend(
+            records
+                .iter()
+                .filter(|r| r.cold)
+                .map(|r| r.init_latency.as_micros()),
+        );
+    }
+    cold_us.sort_unstable();
+    let (mean_cold_us, p99_cold_us) = if cold_us.is_empty() {
+        (0, 0)
+    } else {
+        (
+            cold_us.iter().sum::<u64>() / cold_us.len() as u64,
+            cold_us[(cold_us.len() - 1) * 99 / 100],
+        )
+    };
+    SharingCell {
+        mean_cold_us,
+        p99_cold_us,
+        forks: counters.forks(),
+        forked_loads: counters.forked_loads(),
+    }
+}
+
+/// The dependency-sharing grid. Each catalog app is built once, pushed
+/// through the full pipeline once (its shipped deployment is the
+/// "deferral" variant, its unoptimized input the "baseline"), and a
+/// node zygote plan is drawn over the baseline population — then every
+/// variant's cold starts are measured with and without forking.
+fn bench_dependency_sharing(config: &BenchConfig) -> DependencySharingBench {
+    let (apps_n, cold_starts) = if config.smoke { (8, 6) } else { (22, 40) };
+    let population = fleet_population(apps_n);
+    let mut baseline_owned: Vec<(usize, Application)> = Vec::with_capacity(apps_n);
+    let mut deferral: Vec<(usize, Arc<Application>)> = Vec::with_capacity(apps_n);
+    for (i, entry) in population.iter().enumerate() {
+        let app_seed = config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let built = entry.build(app_seed).expect("catalog app builds");
+        let pipeline_cfg = PipelineConfig::default()
+            .with_seed(app_seed)
+            .with_cold_starts(10)
+            .with_platform(PlatformConfig::default().without_jitter());
+        let outcome = Pipeline::new(pipeline_cfg)
+            .run(&built.app, &entry.workload_weights())
+            .expect("pipeline run succeeds");
+        deferral.push((i, outcome.final_app));
+        baseline_owned.push((i, built.app));
+    }
+    let plan = NodeZygotePool::default_geometry().plan(&baseline_owned);
+    let baseline: Vec<(usize, Arc<Application>)> = baseline_owned
+        .into_iter()
+        .map(|(i, app)| (i, Arc::new(app)))
+        .collect();
+
+    let baseline_cell = sharing_cell(&baseline, None, config.seed, cold_starts);
+    let deferral_cell = sharing_cell(&deferral, None, config.seed, cold_starts);
+    let sharing = sharing_cell(&baseline, Some(&plan), config.seed, cold_starts);
+    let both = sharing_cell(&deferral, Some(&plan), config.seed, cold_starts);
+    let rerun_identical = sharing_cell(&baseline, None, config.seed, cold_starts) == baseline_cell
+        && sharing_cell(&deferral, Some(&plan), config.seed, cold_starts) == both;
+    DependencySharingBench {
+        apps: apps_n,
+        cold_starts_per_app: cold_starts,
+        fork_cost_us: plan.fork_cost().as_micros(),
+        baseline: baseline_cell,
+        deferral: deferral_cell,
+        sharing,
+        both,
+        rerun_identical,
+    }
+}
+
 /// Runs every measurement and assembles the report.
 pub fn run(config: &BenchConfig) -> BenchReport {
     let (sampler_iters, merge_samples, merge_iters, cold_iters, snap_iters, event_iters) =
@@ -725,6 +902,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
     let event_queue = bench_event_queue(event_iters, config.seed);
     let fleet = bench_fleet(config);
     let snapshot_pressure = bench_snapshot_pressure(config);
+    let dependency_sharing = bench_dependency_sharing(config);
     BenchReport {
         smoke: config.smoke,
         seed: config.seed,
@@ -735,6 +913,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         event_queue,
         fleet,
         snapshot_pressure,
+        dependency_sharing,
     }
 }
 
@@ -854,6 +1033,40 @@ impl BenchReport {
         if !sp.rerun_identical {
             offenders.push("snapshot_pressure: rerun with the same seed diverged".to_string());
         }
+        let ds = &self.dependency_sharing;
+        if ds.deferral.mean_cold_us > ds.baseline.mean_cold_us {
+            offenders.push(format!(
+                "dependency_sharing: deferral mean {} us above baseline {} us",
+                ds.deferral.mean_cold_us, ds.baseline.mean_cold_us
+            ));
+        }
+        if ds.sharing.mean_cold_us >= ds.baseline.mean_cold_us {
+            offenders.push(format!(
+                "dependency_sharing: sharing mean {} us not below baseline {} us",
+                ds.sharing.mean_cold_us, ds.baseline.mean_cold_us
+            ));
+        }
+        if ds.both.mean_cold_us >= ds.deferral.mean_cold_us {
+            offenders.push(format!(
+                "dependency_sharing: combined mean {} us not below deferral-only {} us",
+                ds.both.mean_cold_us, ds.deferral.mean_cold_us
+            ));
+        }
+        if ds.both.p99_cold_us >= ds.deferral.p99_cold_us {
+            offenders.push(format!(
+                "dependency_sharing: combined p99 {} us not below deferral-only {} us",
+                ds.both.p99_cold_us, ds.deferral.p99_cold_us
+            ));
+        }
+        if ds.sharing.forks == 0 || ds.sharing.forked_loads == 0 {
+            offenders.push("dependency_sharing: no cold start forked from a zygote".to_string());
+        }
+        if ds.baseline.forks != 0 || ds.deferral.forks != 0 {
+            offenders.push("dependency_sharing: unshared cells recorded zygote forks".to_string());
+        }
+        if !ds.rerun_identical {
+            offenders.push("dependency_sharing: rerun with the same seed diverged".to_string());
+        }
         if offenders.is_empty() {
             Ok(())
         } else {
@@ -869,7 +1082,7 @@ impl BenchReport {
         use std::fmt::Write;
         let mut out = String::with_capacity(2048);
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v4\",");
+        let _ = writeln!(out, "  \"schema\": \"slimstart-bench-hotpath/v5\",");
         let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         for (key, c) in self.comparisons() {
@@ -930,8 +1143,31 @@ impl BenchReport {
         }
         let _ = write!(
             out,
-            "    ],\n    \"rerun_identical\": {}\n  }}\n",
+            "    ],\n    \"rerun_identical\": {}\n  }},\n",
             sp.rerun_identical
+        );
+        let ds = &self.dependency_sharing;
+        let _ = writeln!(
+            out,
+            "  \"dependency_sharing\": {{\n    \"apps\": {},\n    \"cold_starts_per_app\": {},\n    \"fork_cost_us\": {},\n    \"cells\": [",
+            ds.apps, ds.cold_starts_per_app, ds.fork_cost_us
+        );
+        let cells = ds.cells();
+        for (i, (label, c)) in cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"label\": \"{label}\", \"mean_cold_us\": {}, \"p99_cold_us\": {}, \"forks\": {}, \"forked_loads\": {}}}{}",
+                c.mean_cold_us,
+                c.p99_cold_us,
+                c.forks,
+                c.forked_loads,
+                if i + 1 < cells.len() { ",\n" } else { "\n" }
+            );
+        }
+        let _ = write!(
+            out,
+            "    ],\n    \"rerun_identical\": {}\n  }}\n",
+            ds.rerun_identical
         );
         out.push_str("}\n");
         out
@@ -1005,6 +1241,20 @@ impl BenchReport {
             );
         }
         let _ = writeln!(out, "    rerun identical: {}", sp.rerun_identical);
+        let ds = &self.dependency_sharing;
+        let _ = writeln!(
+            out,
+            "  dependency sharing: {} catalog apps x {} cold starts, fork cost {} µs",
+            ds.apps, ds.cold_starts_per_app, ds.fork_cost_us
+        );
+        for (label, c) in ds.cells() {
+            let _ = writeln!(
+                out,
+                "    {label:<9} mean cold {:>8} µs   p99 {:>8} µs   {:>5} forks   {:>6} forked loads",
+                c.mean_cold_us, c.p99_cold_us, c.forks, c.forked_loads
+            );
+        }
+        let _ = writeln!(out, "    rerun identical: {}", ds.rerun_identical);
         out
     }
 }
@@ -1177,7 +1427,7 @@ mod tests {
         assert!(report.fleet.reports_identical);
         assert!(report.fleet.chaos_reports_identical);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"slimstart-bench-hotpath/v4\""));
+        assert!(json.contains("\"schema\": \"slimstart-bench-hotpath/v5\""));
         assert!(json.contains("\"stall_us\": 200"));
         assert!(json.contains("\"reports_identical\": true"));
         assert!(json.contains("\"chaos_reports_identical\": true"));
@@ -1185,6 +1435,8 @@ mod tests {
         assert!(json.contains("\"snapshot_pressure\""));
         assert!(json.contains("\"node_budget_bytes\": null"));
         assert!(json.contains("\"rerun_identical\": true"));
+        assert!(json.contains("\"dependency_sharing\""));
+        assert!(json.contains("\"label\": \"both\""));
     }
 
     #[test]
@@ -1270,6 +1522,36 @@ mod tests {
                 ],
                 rerun_identical: true,
             },
+            dependency_sharing: DependencySharingBench {
+                apps: 4,
+                cold_starts_per_app: 4,
+                fork_cost_us: 100,
+                baseline: SharingCell {
+                    mean_cold_us: 1_000,
+                    p99_cold_us: 2_000,
+                    forks: 0,
+                    forked_loads: 0,
+                },
+                deferral: SharingCell {
+                    mean_cold_us: 600,
+                    p99_cold_us: 1_200,
+                    forks: 0,
+                    forked_loads: 0,
+                },
+                sharing: SharingCell {
+                    mean_cold_us: 400,
+                    p99_cold_us: 900,
+                    forks: 16,
+                    forked_loads: 64,
+                },
+                both: SharingCell {
+                    mean_cold_us: 200,
+                    p99_cold_us: 500,
+                    forks: 16,
+                    forked_loads: 64,
+                },
+                rerun_identical: true,
+            },
         }
     }
 
@@ -1292,6 +1574,52 @@ mod tests {
         report.snapshot_pressure.points[1].hits = 100;
         let err = report.check_regressions().unwrap_err();
         assert!(err.contains("not below unlimited"), "{err}");
+    }
+
+    #[test]
+    fn dependency_sharing_grid_shows_combined_wins() {
+        let ds = bench_dependency_sharing(&smoke_config(1));
+        assert!(ds.sharing.forks > 0, "shared cells fork: {ds:?}");
+        assert!(ds.sharing.forked_loads > 0, "resident modules acquired");
+        assert_eq!(ds.baseline.forks, 0);
+        assert_eq!(ds.deferral.forks, 0);
+        assert!(ds.deferral.mean_cold_us <= ds.baseline.mean_cold_us);
+        assert!(
+            ds.sharing.mean_cold_us < ds.baseline.mean_cold_us,
+            "sharing alone must beat baseline: {ds:?}"
+        );
+        assert!(
+            ds.both.mean_cold_us < ds.deferral.mean_cold_us
+                && ds.both.p99_cold_us < ds.deferral.p99_cold_us,
+            "sharing+deferral must strictly beat deferral alone: {ds:?}"
+        );
+        assert!(ds.rerun_identical);
+    }
+
+    #[test]
+    fn regression_gate_trips_on_sharing_losses() {
+        let mut report = synthetic_report();
+        report.dependency_sharing.both.mean_cold_us = 700;
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("combined mean"), "{err}");
+
+        let mut report = synthetic_report();
+        report.dependency_sharing.both.p99_cold_us = 1_500;
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("combined p99"), "{err}");
+
+        let mut report = synthetic_report();
+        report.dependency_sharing.sharing.forks = 0;
+        let err = report.check_regressions().unwrap_err();
+        assert!(err.contains("no cold start forked"), "{err}");
+
+        let mut report = synthetic_report();
+        report.dependency_sharing.rerun_identical = false;
+        let err = report.check_regressions().unwrap_err();
+        assert!(
+            err.contains("dependency_sharing: rerun with the same seed diverged"),
+            "{err}"
+        );
     }
 
     #[test]

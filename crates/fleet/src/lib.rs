@@ -27,10 +27,13 @@
 pub mod orchestrator;
 pub mod report;
 pub mod snapshot_pool;
+pub mod zygote_pool;
 
 pub use orchestrator::{FleetConfig, FleetError, FleetOrchestrator, FleetRunStats, StallHook};
 pub use report::{
-    AppChaosRecord, AppRecord, AppSnapshotRecord, FixedHistogram, FleetAggregator,
-    FleetChaosSummary, FleetReport, FleetSnapshotSummary, FleetSummary, SpeedupDistribution,
+    AppChaosRecord, AppRecord, AppSnapshotRecord, AppZygoteRecord, FixedHistogram, FleetAggregator,
+    FleetChaosSummary, FleetReport, FleetSnapshotSummary, FleetSummary, FleetZygoteSummary,
+    SpeedupDistribution,
 };
 pub use snapshot_pool::{parse_budget, NodeSnapshotPool, DEFAULT_NODE_SIZE};
+pub use zygote_pool::{AppZygoteSpec, NodeZygotePool, ZygotePlan};

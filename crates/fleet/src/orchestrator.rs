@@ -42,10 +42,14 @@ use slimstart_core::resilience::DegradationLevel;
 use slimstart_platform::chaos::{ChaosConfig, ChaosPlan};
 use slimstart_platform::metrics::Speedup;
 use slimstart_pyrt::snapshot::SnapshotStore;
+use slimstart_pyrt::zygote::{ZygoteCounters, ZygoteImage};
 use slimstart_simcore::SimRng;
 
-use crate::report::{AppChaosRecord, AppRecord, AppSnapshotRecord, FleetAggregator, FleetReport};
+use crate::report::{
+    AppChaosRecord, AppRecord, AppSnapshotRecord, AppZygoteRecord, FleetAggregator, FleetReport,
+};
 use crate::snapshot_pool::NodeSnapshotPool;
+use crate::zygote_pool::{NodeZygotePool, ZygotePlan};
 
 /// XOR tag deriving the fleet's chaos seed root from the experiment seed.
 /// Distinct from the pipeline's own chaos stream tag, so fleet-assigned
@@ -109,6 +113,10 @@ pub struct FleetConfig {
     /// behavior: per-app unbounded full-stream stores controlled by
     /// `SLIMSTART_NO_SNAPSHOT`, and no snapshot counters in the report.
     pub snapshot: Option<NodeSnapshotPool>,
+    /// Node-level zygote pool (live dependency sharing). `None` (the
+    /// default) keeps every cold start booting an empty runtime and the
+    /// report byte-identical to zygote-free builds.
+    pub zygote: Option<NodeZygotePool>,
 }
 
 impl fmt::Debug for FleetConfig {
@@ -124,6 +132,7 @@ impl fmt::Debug for FleetConfig {
             .field("pipeline", &self.pipeline)
             .field("chaos", &self.chaos)
             .field("snapshot", &self.snapshot)
+            .field("zygote", &self.zygote)
             .finish()
     }
 }
@@ -141,6 +150,7 @@ impl Default for FleetConfig {
             pipeline: PipelineConfig::default(),
             chaos: ChaosConfig::DISABLED,
             snapshot: None,
+            zygote: None,
         }
     }
 }
@@ -223,6 +233,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_snapshot_pool(mut self, pool: NodeSnapshotPool) -> Self {
         self.snapshot = Some(pool);
+        self
+    }
+
+    /// Installs a node-level zygote pool (fork-based live dependency
+    /// sharing plus zygote counters in the report, schema v4).
+    #[must_use]
+    pub fn with_zygote_pool(mut self, pool: NodeZygotePool) -> Self {
+        self.zygote = Some(pool);
         self
     }
 }
@@ -354,6 +372,29 @@ fn split_jobs(seed: u64, population: &[CatalogApp]) -> Vec<(usize, &CatalogApp, 
         .collect()
 }
 
+/// Plans the per-node zygotes sequentially, before any worker starts:
+/// the plan is a pure function of the pool geometry and the population's
+/// run-0 builds (each app's first measurement run uses its base seed),
+/// so which worker later runs which app cannot move a single resident
+/// module.
+fn plan_zygotes(
+    cfg: &FleetConfig,
+    jobs: &[(usize, &CatalogApp, u64, u64)],
+) -> Result<Option<ZygotePlan>, FleetError> {
+    let Some(pool) = &cfg.zygote else {
+        return Ok(None);
+    };
+    let mut apps = Vec::with_capacity(jobs.len());
+    for &(index, entry, seed, _) in jobs {
+        let built = entry.build(seed).map_err(|e| FleetError::Build {
+            code: entry.code.to_string(),
+            message: e.to_string(),
+        })?;
+        apps.push((index, built.app));
+    }
+    Ok(Some(pool.plan(&apps)))
+}
+
 /// Pops the next chunk: local deque first, then a batch from the global
 /// injector, then other workers' queues.
 fn find_chunk(
@@ -426,6 +467,7 @@ impl FleetOrchestrator {
         let start = Instant::now();
 
         let jobs = split_jobs(cfg.seed, population);
+        let zygote_plan = plan_zygotes(cfg, &jobs)?;
         let chunk_size = cfg.chunk.max(1);
         let chunk_count = jobs.len().div_ceil(chunk_size);
         let threads = cfg.threads.max(1).min(chunk_count.max(1));
@@ -452,6 +494,7 @@ impl FleetOrchestrator {
             for local in locals {
                 let tx = tx.clone();
                 let jobs = &jobs;
+                let zygote_plan = &zygote_plan;
                 let injector = &injector;
                 let stealers = &stealers;
                 scope.spawn(move || {
@@ -465,7 +508,8 @@ impl FleetOrchestrator {
                                     std::thread::sleep(pause);
                                 }
                             }
-                            match run_app(cfg, index, entry, seed, chaos_seed) {
+                            match run_app(cfg, index, entry, seed, chaos_seed, zygote_plan.as_ref())
+                            {
                                 Ok(record) => partial.fold(record),
                                 Err(error) => {
                                     failure = Some((index, error));
@@ -537,9 +581,12 @@ impl FleetOrchestrator {
     /// Returns the lowest-index application failure.
     pub fn run_records(&self, population: &[CatalogApp]) -> Result<Vec<AppRecord>, FleetError> {
         let cfg = &self.config;
-        split_jobs(cfg.seed, population)
-            .into_iter()
-            .map(|(index, entry, seed, chaos_seed)| run_app(cfg, index, entry, seed, chaos_seed))
+        let jobs = split_jobs(cfg.seed, population);
+        let zygote_plan = plan_zygotes(cfg, &jobs)?;
+        jobs.into_iter()
+            .map(|(index, entry, seed, chaos_seed)| {
+                run_app(cfg, index, entry, seed, chaos_seed, zygote_plan.as_ref())
+            })
             .collect()
     }
 }
@@ -552,6 +599,7 @@ fn run_app(
     entry: &CatalogApp,
     seed: u64,
     chaos_seed: u64,
+    zygote_plan: Option<&ZygotePlan>,
 ) -> Result<AppRecord, FleetError> {
     let runs = cfg.runs.max(1);
     // One plan spans all of this app's runs, so its fault counters
@@ -559,17 +607,33 @@ fn run_app(
     // (experiment seed, population index).
     let chaos_plan =
         (!cfg.chaos.is_disabled()).then(|| Arc::new(ChaosPlan::from_seed(cfg.chaos, chaos_seed)));
+    let zygote_spec = zygote_plan.and_then(|plan| {
+        plan.spec(index)
+            .map(|spec| (spec.clone(), plan.fork_cost()))
+    });
     // One snapshot store per app, never shared across apps: restores are
     // byte-identical to replays, but keeping stores app-local means worker
     // scheduling cannot even share cache state across population indices —
     // thread-count independence stays structural, not incidental. With a
     // node pool the store is the app's bounded fair share of its node's
     // budget (explicit constructor, no env sniffing); without one it is
-    // the PR 5 unbounded default gated on `SLIMSTART_NO_SNAPSHOT`.
-    let snapshot_store = match &cfg.snapshot {
-        Some(pool) => Some(pool.store_for(index)),
-        None => SnapshotStore::default_for_env(),
+    // the PR 5 unbounded default gated on `SLIMSTART_NO_SNAPSHOT`. When a
+    // zygote pool shares the node, its resident bytes come off the node's
+    // snapshot budget first — zygotes and snapshot caches compete for the
+    // same modeled memory.
+    let snapshot_store = match (&cfg.snapshot, &zygote_spec) {
+        (Some(pool), Some((spec, _))) => {
+            Some(pool.store_for_reserved(index, spec.node_reserve_bytes))
+        }
+        (Some(pool), None) => Some(pool.store_for(index)),
+        (None, _) => SnapshotStore::default_for_env(),
     };
+    // One counter block spans the app's containers and runs; runs are
+    // sequential, so the totals are deterministic.
+    let zygote_counters = zygote_spec
+        .as_ref()
+        .map(|_| Arc::new(ZygoteCounters::default()));
+    let mut zygote_residency: Option<(u64, u64)> = None;
     let mut speedups = Vec::with_capacity(runs);
     let mut last: Option<PipelineOutcome> = None;
     for r in 0..runs {
@@ -586,6 +650,20 @@ fn run_app(
         // Override whatever store the template platform carries (possibly
         // one shared fleet-wide through the clone) with this app's own.
         pipeline_cfg.platform.snapshot_store = snapshot_store.clone();
+        if let Some((spec, fork_cost)) = &zygote_spec {
+            // The image maps the node ranking onto this run's build (a
+            // name-level view, so it is rebuilt per run over the run's
+            // module ids) and shares the app-wide counters.
+            let image = Arc::new(ZygoteImage::for_app(
+                &built.app,
+                &spec.ranked,
+                spec.resident_prefix,
+                *fork_cost,
+                Arc::clone(zygote_counters.as_ref().expect("counters with spec")),
+            ));
+            zygote_residency = Some((image.resident_count() as u64, image.resident_bytes()));
+            pipeline_cfg.platform.zygote = Some(image);
+        }
         if let Some(plan) = &chaos_plan {
             pipeline_cfg = pipeline_cfg.with_chaos_plan(Arc::clone(plan));
         }
@@ -624,6 +702,15 @@ fn run_app(
         degradation: out.resilience.degradation.label(),
         recovered: out.resilience.recovered,
     });
+    let zygote = match (&zygote_counters, zygote_residency) {
+        (Some(counters), Some((resident_modules, resident_bytes))) => Some(AppZygoteRecord {
+            forks: counters.forks(),
+            forked_loads: counters.forked_loads(),
+            resident_modules,
+            resident_bytes,
+        }),
+        _ => None,
+    };
     Ok(AppRecord {
         index,
         code: entry.code.to_string(),
@@ -645,6 +732,7 @@ fn run_app(
         optimized_e2e_ms: out.optimized.mean_e2e_ms,
         chaos,
         snapshot,
+        zygote,
     })
 }
 
@@ -767,6 +855,74 @@ mod tests {
         let (plain, _) = quick_fleet(2, 1).run().unwrap();
         assert!(plain.snapshots.is_none());
         assert!(!plain.to_json().contains("\"snapshots\""));
+    }
+
+    #[test]
+    fn zygote_fleet_is_deterministic_and_bumps_the_schema() {
+        let forked = |threads: usize| {
+            FleetOrchestrator::new(
+                quick_fleet(4, threads)
+                    .config()
+                    .clone()
+                    .with_zygote_pool(NodeZygotePool::default_geometry()),
+            )
+        };
+        let (seq, _) = forked(1).run().unwrap();
+        let (par, _) = forked(4).run().unwrap();
+        assert_eq!(seq.to_json(), par.to_json());
+        let zygotes = seq.zygotes.expect("zygote summary present with a pool");
+        assert!(zygotes.forks > 0, "cold starts forked from the zygote");
+        assert!(zygotes.forked_loads > 0, "resident modules were acquired");
+        assert!(seq
+            .to_json()
+            .contains("\"schema\":\"slimstart-fleet-report/v4\""));
+        // Every detail row carries its own counters.
+        assert!(seq.detail.iter().all(|a| a.zygote.is_some()));
+    }
+
+    #[test]
+    fn zygote_sharing_lowers_mean_cold_init() {
+        let (plain, _) = quick_fleet(4, 1).run().unwrap();
+        let forked = FleetOrchestrator::new(
+            quick_fleet(4, 1)
+                .config()
+                .clone()
+                .with_zygote_pool(NodeZygotePool::default_geometry()),
+        );
+        let (shared, _) = forked.run().unwrap();
+        let plain_init: f64 = plain.detail.iter().map(|a| a.baseline_init_ms).sum();
+        let shared_init: f64 = shared.detail.iter().map(|a| a.baseline_init_ms).sum();
+        assert!(
+            shared_init < plain_init,
+            "forked cold starts must pay less init: {shared_init} vs {plain_init}"
+        );
+    }
+
+    #[test]
+    fn zygote_free_fleet_keeps_the_v3_report_bytes() {
+        let (plain, _) = quick_fleet(2, 1).run().unwrap();
+        assert!(plain.zygotes.is_none());
+        assert!(!plain.to_json().contains("zygote"));
+        assert!(plain
+            .to_json()
+            .contains("\"schema\":\"slimstart-fleet-report/v3\""));
+    }
+
+    #[test]
+    fn combined_pools_share_the_node_budget_deterministically() {
+        let both = |threads: usize| {
+            FleetOrchestrator::new(
+                quick_fleet(4, threads)
+                    .config()
+                    .clone()
+                    .with_snapshot_pool(NodeSnapshotPool::new(Some(64 << 20), 2, true))
+                    .with_zygote_pool(NodeZygotePool::default_geometry()),
+            )
+        };
+        let (seq, _) = both(1).run().unwrap();
+        let (par, _) = both(4).run().unwrap();
+        assert_eq!(seq.to_json(), par.to_json());
+        assert!(seq.snapshots.is_some() && seq.zygotes.is_some());
     }
 
     #[test]

@@ -42,6 +42,12 @@ use slimstart_platform::metrics::Speedup;
 /// fleet runs with a [`crate::NodeSnapshotPool`].
 pub const REPORT_SCHEMA: &str = "slimstart-fleet-report/v3";
 
+/// Schema tag emitted when the fleet ran with a
+/// [`crate::NodeZygotePool`]: v4 adds the per-app `zygote` rows and the
+/// fleet-wide `zygotes` summary. Zygote-free fleets keep serializing as
+/// [`REPORT_SCHEMA`], byte-identical to pre-zygote builds.
+pub const REPORT_SCHEMA_ZYGOTE: &str = "slimstart-fleet-report/v4";
+
 /// Per-app rows retained in the report's detail window. Fleets at or
 /// below this size keep every row; larger fleets keep the first
 /// `DETAIL_ROWS` (by population index) and set `detail_truncated` — the
@@ -150,6 +156,36 @@ pub struct AppRecord {
     /// [`crate::NodeSnapshotPool`], which keeps the serialized row
     /// byte-identical to pool-free builds.
     pub snapshot: Option<AppSnapshotRecord>,
+    /// Zygote fork counters; `None` when the fleet ran without a
+    /// [`crate::NodeZygotePool`], which keeps the serialized row
+    /// byte-identical to zygote-free builds.
+    pub zygote: Option<AppZygoteRecord>,
+}
+
+/// One application's zygote-fork counters (zygote-pool fleets only).
+///
+/// Counters accumulate across every measurement run of the app: the
+/// app's [`slimstart_pyrt::zygote::ZygoteCounters`] are shared across
+/// its containers and runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppZygoteRecord {
+    /// Cold starts that forked from the node zygote.
+    pub forks: u64,
+    /// Module loads acquired at fork cost instead of full init cost.
+    pub forked_loads: u64,
+    /// Modules of this app resident in its node zygote.
+    pub resident_modules: u64,
+    /// Modeled bytes those modules pin in the zygote process.
+    pub resident_bytes: u64,
+}
+
+impl AppZygoteRecord {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"forks\":{},\"forked_loads\":{},\"resident_modules\":{},\"resident_bytes\":{}}}",
+            self.forks, self.forked_loads, self.resident_modules, self.resident_bytes,
+        )
+    }
 }
 
 /// One application's snapshot-cache counters (pool-enabled fleets only).
@@ -248,6 +284,9 @@ impl AppRecord {
         }
         if let Some(snapshot) = &self.snapshot {
             let _ = write!(out, ",\"snapshot\":{}", snapshot.to_json());
+        }
+        if let Some(zygote) = &self.zygote {
+            let _ = write!(out, ",\"zygote\":{}", zygote.to_json());
         }
         out.push('}');
         out
@@ -607,6 +646,58 @@ impl FleetSnapshotSummary {
     }
 }
 
+/// Fleet-wide zygote-fork summary (zygote-pool fleets only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetZygoteSummary {
+    /// Total cold starts forked from a node zygote.
+    pub forks: u64,
+    /// Total module loads acquired at fork cost across the fleet.
+    pub forked_loads: u64,
+    /// Sum of per-app resident module counts.
+    pub resident_modules: u64,
+    /// Sum of per-app resident zygote bytes.
+    pub resident_bytes: u64,
+}
+
+impl FleetZygoteSummary {
+    /// Aggregates the per-app zygote rows; `None` when no row carries
+    /// one.
+    pub fn from_records(apps: &[AppRecord]) -> Option<Self> {
+        if apps.iter().all(|a| a.zygote.is_none()) {
+            return None;
+        }
+        let mut summary = FleetZygoteSummary::default();
+        for zygote in apps.iter().filter_map(|a| a.zygote.as_ref()) {
+            summary.fold(zygote);
+        }
+        Some(summary)
+    }
+
+    /// Folds one app's zygote row in (the streaming counterpart of
+    /// [`from_records`](Self::from_records)).
+    pub fn fold(&mut self, zygote: &AppZygoteRecord) {
+        self.forks += zygote.forks;
+        self.forked_loads += zygote.forked_loads;
+        self.resident_modules += zygote.resident_modules;
+        self.resident_bytes += zygote.resident_bytes;
+    }
+
+    /// Merges another summary in (associative and commutative).
+    pub fn merge(&mut self, other: &FleetZygoteSummary) {
+        self.forks += other.forks;
+        self.forked_loads += other.forked_loads;
+        self.resident_modules += other.resident_modules;
+        self.resident_bytes += other.resident_bytes;
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"forks\":{},\"forked_loads\":{},\"resident_modules\":{},\"resident_bytes\":{}}}",
+            self.forks, self.forked_loads, self.resident_modules, self.resident_bytes,
+        )
+    }
+}
+
 /// Streaming fleet aggregation state: everything a [`FleetReport`] needs,
 /// in constant memory.
 ///
@@ -631,6 +722,7 @@ pub struct FleetAggregator {
     mem: FixedHistogram,
     chaos: Option<FleetChaosSummary>,
     snapshots: Option<FleetSnapshotSummary>,
+    zygotes: Option<FleetZygoteSummary>,
     seed_digest: u64,
     detail: Vec<AppRecord>,
     detail_truncated: bool,
@@ -686,6 +778,11 @@ impl FleetAggregator {
                 .get_or_insert_with(Default::default)
                 .fold(snapshot);
         }
+        if let Some(zygote) = &record.zygote {
+            self.zygotes
+                .get_or_insert_with(Default::default)
+                .fold(zygote);
+        }
         self.seed_digest ^= seed_digest_term(record.index, record.seed);
         if record.index < DETAIL_ROWS {
             self.detail.push(record);
@@ -733,6 +830,11 @@ impl FleetAggregator {
                 .get_or_insert_with(Default::default)
                 .merge(theirs);
         }
+        if let Some(theirs) = &other.zygotes {
+            self.zygotes
+                .get_or_insert_with(Default::default)
+                .merge(theirs);
+        }
         self.seed_digest ^= other.seed_digest;
         self.detail.extend(other.detail);
         self.detail_truncated |= other.detail_truncated;
@@ -772,6 +874,7 @@ impl FleetAggregator {
             mem_hist: self.mem,
             chaos: self.chaos,
             snapshots: self.snapshots,
+            zygotes: self.zygotes,
             detail: self.detail,
             detail_truncated: self.detail_truncated,
         }
@@ -822,6 +925,7 @@ impl FleetSummary {
             mem_reduction: SpeedupDistribution::from_histogram(&mem),
             chaos: FleetChaosSummary::from_records(&apps),
             snapshots: FleetSnapshotSummary::from_records(&apps),
+            zygotes: FleetZygoteSummary::from_records(&apps),
             init_hist: init,
             e2e_hist: e2e,
             mem_hist: mem,
@@ -875,6 +979,10 @@ pub struct FleetReport {
     /// Snapshot-cache summary; `None` for pool-free fleets, which keeps
     /// the serialized report byte-identical to pool-free builds.
     pub snapshots: Option<FleetSnapshotSummary>,
+    /// Zygote-fork summary; `None` for zygote-free fleets, which keeps
+    /// the serialized report (including its schema tag) byte-identical
+    /// to zygote-free builds.
+    pub zygotes: Option<FleetZygoteSummary>,
     /// The first [`DETAIL_ROWS`] per-app rows, in population order.
     pub detail: Vec<AppRecord>,
     /// Whether rows beyond the detail window were summarized only.
@@ -893,7 +1001,12 @@ impl FleetReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push('{');
-        let _ = write!(out, "\"schema\":\"{REPORT_SCHEMA}\",");
+        let schema = if self.zygotes.is_some() {
+            REPORT_SCHEMA_ZYGOTE
+        } else {
+            REPORT_SCHEMA
+        };
+        let _ = write!(out, "\"schema\":\"{schema}\",");
         let _ = write!(out, "\"seed\":{},", self.seed);
         let _ = write!(out, "\"cold_starts\":{},", self.cold_starts);
         let _ = write!(out, "\"runs\":{},", self.runs);
@@ -914,6 +1027,9 @@ impl FleetReport {
         }
         if let Some(snapshots) = &self.snapshots {
             let _ = write!(out, "\"snapshots\":{},", snapshots.to_json());
+        }
+        if let Some(zygotes) = &self.zygotes {
+            let _ = write!(out, "\"zygotes\":{},", zygotes.to_json());
         }
         let _ = write!(
             out,
@@ -1024,6 +1140,16 @@ impl FleetReport {
                 snapshots.resident_bytes / 1024,
             );
         }
+        if let Some(zygotes) = &self.zygotes {
+            let _ = writeln!(
+                out,
+                "zygotes: {} forks | {} forked loads | {} resident modules | {} KiB resident",
+                zygotes.forks,
+                zygotes.forked_loads,
+                zygotes.resident_modules,
+                zygotes.resident_bytes / 1024,
+            );
+        }
         let _ = writeln!(
             out,
             "init speedup : mean {:.2}x  median {:.2}x  p90 {:.2}x  p99 {:.2}x",
@@ -1083,6 +1209,7 @@ mod tests {
             optimized_e2e_ms: 500.0 / e2e,
             chaos: None,
             snapshot: None,
+            zygote: None,
         }
     }
 
@@ -1292,6 +1419,53 @@ mod tests {
     #[test]
     fn empty_snapshot_summary_hit_rate_is_zero() {
         assert_eq!(FleetSnapshotSummary::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zygote_free_report_keeps_the_v3_schema_and_omits_zygote_keys() {
+        let report = FleetReport::from_records(7, 100, 1, vec![record(0, 2.0, 1.5)]);
+        assert!(report.zygotes.is_none());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"slimstart-fleet-report/v3\""));
+        assert!(!json.contains("zygote"));
+        assert!(!report.render_text().contains("zygotes"));
+    }
+
+    #[test]
+    fn zygote_rows_serialize_aggregate_and_bump_the_schema() {
+        let mut a = record(0, 2.0, 1.5);
+        a.zygote = Some(AppZygoteRecord {
+            forks: 10,
+            forked_loads: 40,
+            resident_modules: 4,
+            resident_bytes: 8192,
+        });
+        let mut b = record(1, 1.0, 1.0);
+        b.zygote = Some(AppZygoteRecord {
+            forks: 2,
+            forked_loads: 6,
+            resident_modules: 3,
+            resident_bytes: 2048,
+        });
+        let report = FleetReport::from_records(7, 100, 1, vec![a.clone(), b.clone()]);
+        let summary = report.zygotes.unwrap();
+        assert_eq!(summary.forks, 12);
+        assert_eq!(summary.forked_loads, 46);
+        assert_eq!(summary.resident_modules, 7);
+        assert_eq!(summary.resident_bytes, 10_240);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"slimstart-fleet-report/v4\""));
+        assert!(json.contains("\"zygotes\":{\"forks\":12"));
+        assert!(json.contains("\"zygote\":{\"forks\":10"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = report.render_text();
+        assert!(text.contains("zygotes: 12 forks | 46 forked loads"));
+
+        // The streaming path aggregates zygote counters identically.
+        let mut agg = FleetAggregator::new();
+        agg.fold(a);
+        agg.fold(b);
+        assert_eq!(agg.finish(7, 100, 1).to_json(), json);
     }
 
     #[test]

@@ -116,18 +116,53 @@ impl NodeSnapshotPool {
 
     /// One app's fair share of the node budget. Integer division floors,
     /// so `node_size * shard_budget <= node_budget` always holds — the
-    /// modeled node can never be oversubscribed by rounding.
+    /// modeled node can never be oversubscribed by rounding. The
+    /// remainder bytes stranded by flooring go to the node's first
+    /// shards (see [`shard_budget_for`](Self::shard_budget_for)); this
+    /// accessor reports the floor every shard is guaranteed.
     pub fn shard_budget_bytes(&self) -> Option<u64> {
         self.node_budget_bytes.map(|b| b / self.node_size as u64)
     }
 
+    /// The exact shard budget for one population index. Every shard gets
+    /// the floor `node_budget / node_size`; the `node_budget % node_size`
+    /// remainder bytes go one each to the node's first shards (by
+    /// position on the node), so the shard budgets of a full node sum to
+    /// exactly the node budget — no byte is stranded, and the node still
+    /// can never be oversubscribed.
+    pub fn shard_budget_for(&self, index: usize) -> Option<u64> {
+        self.shard_budget_for_reserved(index, 0)
+    }
+
+    /// Like [`shard_budget_for`](Self::shard_budget_for), with
+    /// `reserve_bytes` of the node budget set aside first (the zygote
+    /// pool's resident bytes share the same modeled node memory). The
+    /// reserve saturates: a zygote closure larger than the node budget
+    /// leaves zero-byte snapshot shards rather than wrapping.
+    pub fn shard_budget_for_reserved(&self, index: usize, reserve_bytes: u64) -> Option<u64> {
+        self.node_budget_bytes.map(|b| {
+            let budget = b.saturating_sub(reserve_bytes);
+            let base = budget / self.node_size as u64;
+            let remainder = budget % self.node_size as u64;
+            let position = (index % self.node_size) as u64;
+            base + u64::from(position < remainder)
+        })
+    }
+
     /// Builds the bounded store for one application. The population
-    /// index only selects the node for accounting; every shard on a node
-    /// is interchangeable, which is what keeps eviction order a pure
-    /// function of the app's own event stream.
-    pub fn store_for(&self, _index: usize) -> Arc<SnapshotStore> {
+    /// index selects the node and the shard position on it (which
+    /// decides who receives the remainder bytes); eviction order stays a
+    /// pure function of the app's own event stream because every shard
+    /// is private.
+    pub fn store_for(&self, index: usize) -> Arc<SnapshotStore> {
+        self.store_for_reserved(index, 0)
+    }
+
+    /// Builds the bounded store for one application with part of the
+    /// node budget reserved (zygote residency accounting).
+    pub fn store_for_reserved(&self, index: usize, reserve_bytes: u64) -> Arc<SnapshotStore> {
         Arc::new(SnapshotStore::with_limits(
-            self.shard_budget_bytes(),
+            self.shard_budget_for_reserved(index, reserve_bytes),
             self.lazy_restore,
         ))
     }
@@ -139,9 +174,15 @@ impl NodeSnapshotPool {
 ///
 /// # Errors
 ///
-/// Returns a description of the malformed input.
+/// Returns a description of the malformed input: empty strings, a bare
+/// suffix with no digits, an unrecognized suffix, and values that
+/// overflow `u64` (either in the digits themselves or after scaling)
+/// each get a distinct message.
 pub fn parse_budget(s: &str) -> Result<Option<u64>, String> {
     let raw = s.trim().to_ascii_lowercase();
+    if raw.is_empty() {
+        return Err("empty byte budget (pass e.g. '64m', '0' or 'unlimited')".to_string());
+    }
     if raw == "unlimited" || raw == "none" {
         return Ok(None);
     }
@@ -158,9 +199,18 @@ pub fn parse_budget(s: &str) -> Result<Option<u64>, String> {
             (digits, scale)
         }
     };
-    let n: u64 = digits
-        .parse()
-        .map_err(|_| format!("invalid byte budget '{s}'"))?;
+    if digits.is_empty() {
+        return Err(format!(
+            "byte budget '{s}' has a suffix but no digits (pass e.g. '64k')"
+        ));
+    }
+    let n: u64 = digits.parse().map_err(|e: std::num::ParseIntError| {
+        if *e.kind() == std::num::IntErrorKind::PosOverflow {
+            format!("byte budget '{s}' overflows u64")
+        } else {
+            format!("invalid byte budget '{s}'")
+        }
+    })?;
     let bytes = n
         .checked_mul(scale)
         .ok_or_else(|| format!("byte budget '{s}' overflows u64"))?;
@@ -178,8 +228,52 @@ mod tests {
                 let pool = NodeSnapshotPool::new(Some(budget), node_size, true);
                 let shard = pool.shard_budget_bytes().unwrap();
                 assert!(shard * node_size as u64 <= budget);
+                for index in 0..node_size * 2 {
+                    let exact = pool.shard_budget_for(index).unwrap();
+                    assert!(exact >= shard, "exact shard below the guaranteed floor");
+                }
             }
         }
+    }
+
+    #[test]
+    fn fair_share_remainder_reaches_the_first_shards_exactly() {
+        for budget in [0u64, 1, 7, 1000, 1 << 20, (1 << 30) + 7] {
+            for node_size in [1usize, 3, 8, 13] {
+                let pool = NodeSnapshotPool::new(Some(budget), node_size, true);
+                // The shard budgets of one full node sum to exactly the
+                // node budget: flooring strands nothing.
+                let total: u64 = (0..node_size)
+                    .map(|i| pool.shard_budget_for(i).unwrap())
+                    .sum();
+                assert_eq!(
+                    total, budget,
+                    "node budget {budget} split over {node_size} shards lost bytes"
+                );
+                // Shard position, not absolute index, decides who gets
+                // the remainder — every node splits identically.
+                for i in 0..node_size {
+                    assert_eq!(
+                        pool.shard_budget_for(i),
+                        pool.shard_budget_for(i + node_size),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_bytes_shrink_the_shared_node_budget() {
+        let pool = NodeSnapshotPool::new(Some(1000), 4, true);
+        let total: u64 = (0..4)
+            .map(|i| pool.shard_budget_for_reserved(i, 300).unwrap())
+            .sum();
+        assert_eq!(total, 700);
+        // A reserve beyond the whole budget saturates to zero shards.
+        assert_eq!(pool.shard_budget_for_reserved(0, 5000), Some(0));
+        // Unlimited nodes ignore the reserve.
+        let unlimited = NodeSnapshotPool::new(None, 4, true);
+        assert_eq!(unlimited.shard_budget_for_reserved(0, 300), None);
     }
 
     #[test]
@@ -221,9 +315,36 @@ mod tests {
         assert_eq!(parse_budget("2GiB"), Ok(Some(2 << 30)));
         assert_eq!(parse_budget("512kb"), Ok(Some(512 << 10)));
         assert_eq!(parse_budget("0"), Ok(None));
+        assert_eq!(parse_budget("16g"), Ok(Some(16 << 30)));
         assert_eq!(parse_budget("unlimited"), Ok(None));
         assert!(parse_budget("12q").is_err());
-        assert!(parse_budget("").is_err());
         assert!(parse_budget("999999999999g").is_err());
+    }
+
+    #[test]
+    fn budget_parsing_rejects_empty_overflow_and_bare_suffix_with_clear_errors() {
+        let empty = parse_budget("").unwrap_err();
+        assert!(empty.contains("empty"), "got: {empty}");
+        let blank = parse_budget("   ").unwrap_err();
+        assert!(blank.contains("empty"), "got: {blank}");
+
+        // u64::MAX + 1: the digits themselves overflow, distinct from a
+        // generically malformed number.
+        let overflow = parse_budget("18446744073709551616").unwrap_err();
+        assert!(overflow.contains("overflows u64"), "got: {overflow}");
+        // Overflow introduced by the scale factor reads the same way.
+        let scaled = parse_budget("999999999999g").unwrap_err();
+        assert!(scaled.contains("overflows u64"), "got: {scaled}");
+
+        // A bare suffix has no digits to scale.
+        let bare = parse_budget("k").unwrap_err();
+        assert!(bare.contains("no digits"), "got: {bare}");
+
+        // The exact boundary still parses.
+        assert_eq!(
+            parse_budget("18446744073709551615"),
+            Ok(Some(u64::MAX)),
+            "u64::MAX is a valid budget"
+        );
     }
 }

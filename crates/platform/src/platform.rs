@@ -7,6 +7,7 @@ use slimstart_appmodel::{Application, ModuleId};
 use slimstart_pyrt::loader::LoaderPlan;
 use slimstart_pyrt::observer::ExecutionObserver;
 use slimstart_pyrt::snapshot::{deployment_fingerprint, SnapshotKey, SnapshotStore};
+use slimstart_pyrt::zygote::ZygoteImage;
 use slimstart_pyrt::RuntimeFault;
 use slimstart_simcore::event::EventQueue;
 use slimstart_simcore::rng::SimRng;
@@ -50,6 +51,12 @@ pub struct PlatformConfig {
     /// byte-identical to replays, so this is purely a simulation-speed
     /// knob (`SLIMSTART_NO_SNAPSHOT=1` disables the default store).
     pub snapshot_store: Option<Arc<SnapshotStore>>,
+    /// Node zygote this deployment's containers fork from, if any: every
+    /// cold start attaches the image, so resident modules are acquired at
+    /// fork cost and lazy restores replay in prefetch order. Warm starts
+    /// and keep-alive are untouched — sharing only changes what a cold
+    /// start pays, never whether one happens.
+    pub zygote: Option<Arc<ZygoteImage>>,
 }
 
 impl std::fmt::Debug for PlatformConfig {
@@ -67,6 +74,7 @@ impl std::fmt::Debug for PlatformConfig {
                 &self.chaos.as_ref().is_some_and(|c| c.is_enabled()),
             )
             .field("snapshots", &self.snapshot_store.is_some())
+            .field("zygote", &self.zygote.is_some())
             .finish()
     }
 }
@@ -83,6 +91,7 @@ impl Default for PlatformConfig {
             observer_factory: None,
             chaos: None,
             snapshot_store: SnapshotStore::default_for_env(),
+            zygote: None,
         }
     }
 }
@@ -116,6 +125,12 @@ impl PlatformConfig {
     /// (no snapshot memoization).
     pub fn without_snapshots(mut self) -> Self {
         self.snapshot_store = None;
+        self
+    }
+
+    /// Returns a copy whose cold starts fork from the given zygote image.
+    pub fn with_zygote(mut self, zygote: Arc<ZygoteImage>) -> Self {
+        self.zygote = Some(zygote);
         self
     }
 }
@@ -297,6 +312,9 @@ impl Platform {
                 time_scale,
                 SimTime::ZERO,
             );
+            if let Some(zygote) = &self.config.zygote {
+                container.process_mut().set_zygote(Arc::clone(zygote));
+            }
             if let Some(factory) = &self.config.observer_factory {
                 let dropped = self
                     .config
@@ -459,6 +477,9 @@ impl Platform {
             time_scale,
             inv.at,
         );
+        if let Some(zygote) = &self.config.zygote {
+            container.process_mut().set_zygote(Arc::clone(zygote));
+        }
         if let Some(factory) = &self.config.observer_factory {
             // Chaos: a sampler dropout window — the profiler attachment
             // fails for this container's whole lifetime (zero samples).
@@ -898,6 +919,81 @@ mod tests {
             p.run(&[inv(0, 1), inv(gap, 2)]).unwrap();
             assert!(store.is_empty(), "observed cold starts must replay");
             assert_eq!((store.hits(), store.misses()), (0, 0));
+        }
+    }
+
+    mod zygotes {
+        use super::*;
+        use slimstart_pyrt::zygote::ZygoteCounters;
+
+        fn lib_zygote(app: &Application, fork_us: u64) -> (Arc<ZygoteImage>, Arc<ZygoteCounters>) {
+            let counters = Arc::new(ZygoteCounters::default());
+            let image = Arc::new(ZygoteImage::for_app(
+                app,
+                &["lib"],
+                1,
+                SimDuration::from_micros(fork_us),
+                Arc::clone(&counters),
+            ));
+            (image, counters)
+        }
+
+        #[test]
+        fn forked_cold_starts_acquire_resident_libraries_cheaply() {
+            let app = app();
+            let (image, counters) = lib_zygote(&app, 100);
+            let c = cfg().without_snapshots().with_zygote(image);
+            let mut p = Platform::new(Arc::clone(&app), c, 1);
+            let gap = 11 * 60 * 1000;
+            let recs = p
+                .run(&[inv(0, 1), inv(1_000, 2), inv(gap + 1_000, 3)])
+                .unwrap()
+                .to_vec();
+            // Cold: handler runs its 1 ms top level, lib (99 ms nominal) is
+            // acquired from the zygote at 100 µs.
+            assert!(recs[0].cold);
+            assert_eq!(recs[0].load_time, ms(1) + SimDuration::from_micros(100));
+            // Warm routing and keep-alive are untouched by sharing.
+            assert!(!recs[1].cold);
+            assert_eq!(recs[1].e2e_latency, ms(10));
+            // Keep-alive reclaim later: a fresh cold start forks again.
+            assert!(recs[2].cold);
+            assert_eq!(counters.forks(), 2);
+            assert_eq!(counters.forked_loads(), 2);
+        }
+
+        #[test]
+        fn zygote_snapshot_cache_is_byte_invisible_in_records() {
+            // Snapshots record nominal charges; restores substitute the
+            // fork cost exactly as real forked cold starts do, so the
+            // full-stream cache stays byte-invisible under a zygote,
+            // jitter included.
+            let gap = 11 * 60 * 1000;
+            let invs = [inv(0, 1), inv(gap, 2), inv(2 * gap, 3), inv(3 * gap, 4)];
+            let jittered = PlatformConfig {
+                jitter_sigma: 0.1,
+                ..PlatformConfig::default()
+            };
+            let app = app();
+            let cached = {
+                let (image, _) = lib_zygote(&app, 100);
+                let store = Arc::new(SnapshotStore::new());
+                let c = jittered
+                    .clone()
+                    .with_snapshot_store(Arc::clone(&store))
+                    .with_zygote(image);
+                let mut p = Platform::new(Arc::clone(&app), c, 7);
+                let recs = p.run(&invs).unwrap().to_vec();
+                assert_eq!((store.hits(), store.misses()), (3, 1));
+                recs
+            };
+            let replayed = {
+                let (image, _) = lib_zygote(&app, 100);
+                let c = jittered.without_snapshots().with_zygote(image);
+                let mut p = Platform::new(Arc::clone(&app), c, 7);
+                p.run(&invs).unwrap().to_vec()
+            };
+            assert_eq!(cached, replayed);
         }
     }
 

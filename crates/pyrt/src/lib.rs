@@ -47,6 +47,7 @@ pub mod observer;
 pub mod process;
 pub mod snapshot;
 pub mod stack;
+pub mod zygote;
 
 pub use fault::RuntimeFault;
 pub use loader::{LoaderPlan, ModuleSet};
@@ -54,3 +55,4 @@ pub use observer::{AdvanceContext, ExecutionObserver, NullObserver};
 pub use process::{InvocationOutcome, LoadEvent, Process};
 pub use snapshot::{deployment_fingerprint, SnapLoad, Snapshot, SnapshotKey, SnapshotStore};
 pub use stack::{CallStack, Frame, FrameKind};
+pub use zygote::{ZygoteCounters, ZygoteImage, DEFAULT_FORK_COST};

@@ -18,6 +18,7 @@ use crate::loader::LoaderPlan;
 use crate::observer::{AdvanceContext, ExecutionObserver};
 use crate::snapshot::{SnapLoad, Snapshot};
 use crate::stack::{CallStack, FrameKind};
+use crate::zygote::ZygoteImage;
 
 /// Maximum call depth before the interpreter aborts (guards against model
 /// bugs; real applications in the catalog stay far below this).
@@ -76,6 +77,10 @@ pub struct Process {
     peak_mem_kb: u64,
     observer: Option<Box<dyn ExecutionObserver>>,
     in_cold_start: bool,
+    /// The zygote this process forked from, if any: modules resident in
+    /// the image load at its flat fork cost instead of their init cost,
+    /// and lazy restores replay in its prefetch order.
+    zygote: Option<Arc<ZygoteImage>>,
 }
 
 impl std::fmt::Debug for Process {
@@ -86,6 +91,7 @@ impl std::fmt::Debug for Process {
             .field("loaded", &self.loaded_count)
             .field("mem_kb", &self.mem_kb)
             .field("observed", &self.observer.is_some())
+            .field("forked", &self.zygote.is_some())
             .finish()
     }
 }
@@ -137,7 +143,29 @@ impl Process {
             peak_mem_kb: 0,
             observer: None,
             in_cold_start: false,
+            zygote: None,
         }
+    }
+
+    /// Attaches the zygote image this process forks from, counting one
+    /// fork on the image's shared counters. Must happen before any load —
+    /// forking an already-running process is not a thing.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that nothing has loaded yet.
+    pub fn set_zygote(&mut self, image: Arc<ZygoteImage>) {
+        debug_assert!(
+            self.loaded_count == 0 && self.load_events.is_empty(),
+            "zygote fork of a non-fresh process"
+        );
+        image.note_fork();
+        self.zygote = Some(image);
+    }
+
+    /// The zygote image this process forked from, if any.
+    pub fn zygote(&self) -> Option<&Arc<ZygoteImage>> {
+        self.zygote.as_ref()
     }
 
     /// The loader plan this process shares.
@@ -361,14 +389,18 @@ impl Process {
         let unscaled = scale == 1.0;
         let mut clock = self.clock;
         let mut mem_kb = self.mem_kb;
+        let zygote = self.zygote.clone();
         self.load_events.extend(snapshot.loads.iter().map(|load| {
+            // Snapshots record nominal charges; a restore under a zygote
+            // must substitute the fork cost for resident modules exactly
+            // as the real forked cold start it replays did.
+            let raw = match &zygote {
+                Some(z) => z.effective_cost(load.module, load.init_cost),
+                None => load.init_cost,
+            };
             // Per-load scaling, not a scaled sum: mul_f64 rounds per call
             // and the replay must round exactly like the loader did.
-            let scaled = if unscaled {
-                load.init_cost
-            } else {
-                load.init_cost.mul_f64(scale)
-            };
+            let scaled = if unscaled { raw } else { raw.mul_f64(scale) };
             clock += scaled;
             mem_kb += load.mem_kb;
             LoadEvent {
@@ -396,6 +428,13 @@ impl Process {
     /// With a full working set this is byte-identical to
     /// [`Process::restore_snapshot`] — the retained differential oracle.
     ///
+    /// When this process forked from a zygote the replay set additionally
+    /// includes every zygote-resident module in the snapshot (the fork
+    /// maps them in regardless, at fork cost) and is replayed in
+    /// **prefetch order** — the image's hotness ranking, hottest first,
+    /// capture order breaking ties — so early invocations stop faulting
+    /// sooner. Without a zygote the capture-order path below is untouched.
+    ///
     /// # Panics
     ///
     /// Debug-asserts that this process is fresh (nothing loaded) and
@@ -417,6 +456,9 @@ impl Process {
             snapshot.loaded.len(),
             "snapshot from a different application shape"
         );
+        if let Some(zygote) = self.zygote.clone() {
+            return self.restore_lazy_forked(snapshot, working, &zygote);
+        }
         let start = self.clock;
         let scale = self.time_scale;
         let unscaled = scale == 1.0;
@@ -448,6 +490,58 @@ impl Process {
         self.mem_kb = mem_kb;
         self.loaded.copy_from_slice(working);
         self.loaded_count = loaded_count;
+        self.bump_peak();
+        self.clock.since(start)
+    }
+
+    /// The zygote-forked arm of [`Process::restore_snapshot_lazy`]:
+    /// replays `working ∪ (resident ∩ snapshot.loads)` sorted by the
+    /// image's prefetch rank (capture position breaks ties, and unranked
+    /// modules sort after every ranked one), charging resident modules
+    /// the fork cost. Everything else is omitted for first-use faulting,
+    /// exactly like the unforked lazy path.
+    fn restore_lazy_forked(
+        &mut self,
+        snapshot: &Snapshot,
+        working: &[u64],
+        zygote: &ZygoteImage,
+    ) -> SimDuration {
+        let start = self.clock;
+        let scale = self.time_scale;
+        let unscaled = scale == 1.0;
+        // (prefetch rank, capture position) per replayed load: sorting the
+        // pairs is the prefetch order, and position keeps it deterministic.
+        let mut replay: Vec<(u32, usize)> = Vec::with_capacity(snapshot.loads.len());
+        for (position, load) in snapshot.loads.iter().enumerate() {
+            let index = load.module.index();
+            let (word, bit) = (index / 64, 1u64 << (index % 64));
+            if working[word] & bit != 0 || zygote.is_resident(load.module) {
+                replay.push((zygote.rank(load.module), position));
+            } else {
+                self.lazy_omitted[word] |= bit;
+            }
+        }
+        replay.sort_unstable();
+        let mut clock = self.clock;
+        let mut mem_kb = self.mem_kb;
+        for &(_, position) in &replay {
+            let load = &snapshot.loads[position];
+            let raw = zygote.effective_cost(load.module, load.init_cost);
+            let scaled = if unscaled { raw } else { raw.mul_f64(scale) };
+            clock += scaled;
+            mem_kb += load.mem_kb;
+            self.load_events.push(LoadEvent {
+                module: load.module,
+                at: clock,
+                self_cost: scaled,
+                during_init: true,
+            });
+            let index = load.module.index();
+            self.loaded[index / 64] |= 1u64 << (index % 64);
+        }
+        self.clock = clock;
+        self.mem_kb = mem_kb;
+        self.loaded_count = replay.len();
         self.bump_peak();
         self.clock.since(start)
     }
@@ -578,10 +672,17 @@ impl Process {
             }
         }
 
-        // Execute the module's own top level.
+        // Execute the module's own top level — or, when the zygote this
+        // process forked from already holds the module initialized, just
+        // acquire it at the flat fork cost.
         let before = self.clock;
         self.stack.set_line(1);
-        self.advance(app.module(module).init_cost());
+        let nominal = app.module(module).init_cost();
+        let raw = match &self.zygote {
+            Some(z) => z.effective_cost(module, nominal),
+            None => nominal,
+        };
+        self.advance(raw);
         let self_cost = self.clock.since(before);
 
         self.stack.pop();
@@ -667,6 +768,7 @@ impl Process {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::zygote::{ZygoteCounters, ZygoteImage};
     use slimstart_appmodel::app::AppBuilder;
     use slimstart_appmodel::imports::ImportMode;
 
@@ -1206,5 +1308,122 @@ mod tests {
         let mut p = Process::new(app, 1.0);
         let err = p.invoke(h, &mut SimRng::seed_from(1)).unwrap_err();
         assert!(matches!(err, RuntimeFault::RecursionLimit { .. }));
+    }
+
+    #[test]
+    fn zygote_cold_start_acquires_resident_modules_at_fork_cost() {
+        let (app, root, h) = build_app(false);
+        let counters = Arc::new(ZygoteCounters::default());
+        let image = Arc::new(ZygoteImage::for_app(
+            &app,
+            &["lib.cold", "lib.hot", "lib.cold.leaf"],
+            3,
+            SimDuration::from_micros(100),
+            Arc::clone(&counters),
+        ));
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        p.set_zygote(image);
+        let init = p.cold_start(root).unwrap();
+        // handler (1ms) + lib (2ms) run their top level; the three resident
+        // modules are acquired from the zygote at 100µs each.
+        assert_eq!(init, ms(3) + SimDuration::from_micros(300));
+        assert_eq!(counters.forks(), 1);
+        assert_eq!(counters.forked_loads(), 3);
+        // Memory is modeled conservatively: full footprint either way.
+        assert_eq!(p.mem_kb(), 128 + 256 + 1_000 + 5_000 + 2_000);
+        // Warm execution is untouched by the fork.
+        let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        assert_eq!(out.exec_time, ms(4));
+        assert_eq!(counters.forked_loads(), 3);
+    }
+
+    #[test]
+    fn zygote_full_restore_matches_forked_cold_start() {
+        // Snapshots record nominal charges (captured without a zygote);
+        // restoring under a zygote must reproduce a real forked cold start
+        // bit for bit at every time scale — the platform's snapshot cache
+        // relies on this equivalence.
+        let (app, root, h) = build_app(true);
+        let plan = Arc::new(LoaderPlan::build(&app));
+        let mut origin = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), 1.0);
+        origin.cold_start(root).unwrap();
+        let snapshot = origin.capture_snapshot();
+        let image = |app: &Application| {
+            Arc::new(ZygoteImage::for_app(
+                app,
+                &["lib.hot", "lib"],
+                2,
+                SimDuration::from_micros(100),
+                Arc::new(ZygoteCounters::default()),
+            ))
+        };
+        for scale in [1.0, 0.5, 1.37, 2.0] {
+            let mut real = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), scale);
+            real.set_zygote(image(&app));
+            let real_init = real.cold_start(root).unwrap();
+            let mut restored = Process::with_plan(Arc::clone(&app), Arc::clone(&plan), scale);
+            restored.set_zygote(image(&app));
+            let fast = restored.restore_snapshot(&snapshot);
+            assert_eq!(fast, real_init, "init latency at scale {scale}");
+            assert_eq!(restored.clock(), real.clock());
+            assert_eq!(restored.load_events(), real.load_events());
+            assert_eq!(restored.mem_kb(), real.mem_kb());
+            // The deferred first-use load of the cold subtree behaves the
+            // same after either path (lib.cold is not resident: full cost).
+            let a = real.invoke(h, &mut SimRng::seed_from(9)).unwrap();
+            let b = restored.invoke(h, &mut SimRng::seed_from(9)).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(restored.load_events(), real.load_events());
+        }
+    }
+
+    #[test]
+    fn zygote_lazy_restore_replays_prefetch_order_and_acquires_resident() {
+        let (app, root, h) = build_app(false);
+        let mut origin = Process::new(Arc::clone(&app), 1.0);
+        origin.cold_start(root).unwrap();
+        let mut snapshot = origin.capture_snapshot();
+        let mut working = vec![0u64; snapshot.loaded.len()];
+        for name in ["handler", "lib"] {
+            let (w, bit) = bit_of(&app, name);
+            working[w] |= bit;
+        }
+        snapshot.working = Some(working.into_boxed_slice());
+
+        let counters = Arc::new(ZygoteCounters::default());
+        // Node ranking: lib.cold hottest (and resident), then lib, then
+        // handler; lib.hot and lib.cold.leaf unranked.
+        let image = Arc::new(ZygoteImage::for_app(
+            &app,
+            &["lib.cold", "lib", "handler"],
+            1,
+            SimDuration::from_micros(100),
+            Arc::clone(&counters),
+        ));
+        let mut p = Process::new(Arc::clone(&app), 1.0);
+        p.set_zygote(image);
+        let init = p.restore_snapshot_lazy(&snapshot);
+        // Replay set = working {handler, lib} ∪ resident {lib.cold},
+        // prefetch order (not capture order): lib.cold at fork cost first,
+        // then lib and handler at their nominal costs.
+        let names: Vec<&str> = p
+            .load_events()
+            .iter()
+            .map(|e| app.module(e.module).name())
+            .collect();
+        assert_eq!(names, vec!["lib.cold", "lib", "handler"]);
+        assert_eq!(init, SimDuration::from_micros(100) + ms(2) + ms(1));
+        assert_eq!(counters.forked_loads(), 1);
+        assert!(p.is_loaded(app.module_by_name("lib.cold").unwrap()));
+        assert!(!p.is_loaded(app.module_by_name("lib.hot").unwrap()));
+        assert!(!p.is_loaded(app.module_by_name("lib.cold.leaf").unwrap()));
+        assert_eq!(p.mem_kb(), 128 + 256 + 5_000);
+        // Omitted modules still fault in at first use: the handler's call
+        // into lib.hot (unranked, not resident) pays its full cost.
+        let out = p.invoke(h, &mut SimRng::seed_from(1)).unwrap();
+        assert_eq!(out.deferred_load_time, ms(10));
+        assert_eq!(out.exec_time, ms(14));
+        assert_eq!(p.take_faulted_loads(), 1);
+        let _ = root;
     }
 }

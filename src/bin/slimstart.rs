@@ -49,14 +49,28 @@
 //!                                           working set unless
 //!                                           $SLIMSTART_NO_LAZY_RESTORE=1.
 //!     --node-size <N>                       apps packed per modeled node
-//!                                           (default 8; needs the pool)
+//!                                           (default 8; needs a node pool:
+//!                                           --snapshot-budget or --zygotes)
+//!     --zygotes <Z>                         enable the node zygote pool:
+//!                                           Z pre-warmed processes per node
+//!                                           holding the node's hottest
+//!                                           library closure; cold starts
+//!                                           fork from the best match
+//!                                           (default: the $SLIMSTART_ZYGOTES
+//!                                           env var, else no pool; 0
+//!                                           disables)
+//!     --fork-cost-us <U>                    cost of acquiring one
+//!                                           zygote-resident module at fork
+//!                                           in µs (default 100; needs
+//!                                           --zygotes)
 //!     --json                                machine-readable output
 //! slimstart chaos [options]                 fleet run under fault injection
 //!     --fault-rate <P>                      per-event fault probability
 //!                                           (default: $SLIMSTART_FAULT_RATE
 //!                                           or 0.1)
 //!     --apps/--threads/--runs/--seed/--cold-starts/--light/--chunk/
-//!     --stall-us/--json as for `fleet`
+//!     --stall-us/--snapshot-budget/--node-size/--zygotes/--fork-cost-us/
+//!     --json as for `fleet`
 //! slimstart bench [options]                 hot-path micro-benchmarks
 //!     --smoke                               tiny iteration counts (CI)
 //!     --seed <S>                            bench seed (default 2025)
@@ -99,9 +113,12 @@ use slimstart::core::pipeline::{Pipeline, PipelineConfig};
 use slimstart::core::report::render;
 use slimstart::core::{AutoFixStage, StageEngine};
 use slimstart::fleet::{
-    parse_budget, FleetConfig, FleetOrchestrator, NodeSnapshotPool, DEFAULT_NODE_SIZE,
+    parse_budget, FleetConfig, FleetOrchestrator, NodeSnapshotPool, NodeZygotePool,
+    DEFAULT_NODE_SIZE,
 };
 use slimstart::platform::chaos::ChaosConfig;
+use slimstart::pyrt::zygote::DEFAULT_FORK_COST;
+use slimstart::simcore::SimDuration;
 use slimstart::workload::trace::{ProductionTrace, TraceConfig};
 
 fn main() -> ExitCode {
@@ -155,8 +172,8 @@ USAGE:
     slimstart source <CODE> <MODULE>
     slimstart graph <CODE> [--optimized] [--seed S]
     slimstart trace [--seed S]
-    slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--snapshot-budget B] [--node-size N] [--json]
-    slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--snapshot-budget B] [--node-size N] [--json]
+    slimstart fleet [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--snapshot-budget B] [--node-size N] [--zygotes Z] [--fork-cost-us U] [--json]
+    slimstart chaos [--fault-rate P] [--apps N] [--threads T] [--runs R] [--seed S] [--cold-starts N] [--light] [--chunk C] [--stall-us U] [--snapshot-budget B] [--node-size N] [--zygotes Z] [--fork-cost-us U] [--json]
     slimstart bench [--smoke] [--seed S] [--threads T] [--fleet-apps N] [--out PATH] [--check]
     slimstart help
 
@@ -512,10 +529,23 @@ fn parse_fleet_config(args: &[String]) -> Result<(FleetConfig, bool), String> {
         .with_runs(runs.max(1))
         .with_chunk(chunk)
         .with_stall_micros(stall_us);
-    if let Some(pool) = parse_snapshot_pool(args)? {
+    let node_size = match flag_value(args, "--node-size")? {
+        Some(0) => return Err("--node-size must be at least 1".to_string()),
+        Some(n) => Some(n as usize),
+        None => None,
+    };
+    let snapshot_pool = parse_snapshot_pool(args, node_size)?;
+    let zygote_pool = parse_zygote_pool(args, node_size)?;
+    if node_size.is_some() && snapshot_pool.is_none() && zygote_pool.is_none() {
+        return Err(
+            "--node-size needs a node pool (pass --snapshot-budget or --zygotes)".to_string(),
+        );
+    }
+    if let Some(pool) = snapshot_pool {
         config = config.with_snapshot_pool(pool);
-    } else if flag_value(args, "--node-size")?.is_some() {
-        return Err("--node-size needs the snapshot pool (pass --snapshot-budget)".to_string());
+    }
+    if let Some(pool) = zygote_pool {
+        config = config.with_zygote_pool(pool);
     }
     Ok((config, light))
 }
@@ -524,7 +554,10 @@ fn parse_fleet_config(args: &[String]) -> Result<(FleetConfig, bool), String> {
 /// `--snapshot-budget` flag, falling back to `SLIMSTART_SNAPSHOT_BUDGET`;
 /// no pool when neither is set. `SLIMSTART_NO_LAZY_RESTORE=1` switches
 /// restores back to PR 5 full-stream replay.
-fn parse_snapshot_pool(args: &[String]) -> Result<Option<NodeSnapshotPool>, String> {
+fn parse_snapshot_pool(
+    args: &[String],
+    node_size: Option<usize>,
+) -> Result<Option<NodeSnapshotPool>, String> {
     let budget = match flag_value_str(args, "--snapshot-budget")? {
         Some(v) => v,
         None => match std::env::var("SLIMSTART_SNAPSHOT_BUDGET") {
@@ -533,12 +566,45 @@ fn parse_snapshot_pool(args: &[String]) -> Result<Option<NodeSnapshotPool>, Stri
         },
     };
     let node_budget = parse_budget(&budget)?;
-    let node_size = flag_value(args, "--node-size")?.unwrap_or(DEFAULT_NODE_SIZE as u64) as usize;
-    if node_size == 0 {
-        return Err("--node-size must be at least 1".to_string());
-    }
     let lazy = std::env::var("SLIMSTART_NO_LAZY_RESTORE").map_or(true, |v| v != "1");
-    Ok(Some(NodeSnapshotPool::new(node_budget, node_size, lazy)))
+    Ok(Some(NodeSnapshotPool::new(
+        node_budget,
+        node_size.unwrap_or(DEFAULT_NODE_SIZE),
+        lazy,
+    )))
+}
+
+/// Resolves the node zygote pool for `fleet`/`chaos`: the `--zygotes`
+/// flag, falling back to `SLIMSTART_ZYGOTES`; no pool when neither is
+/// set (or either is `0`). `--fork-cost-us` prices the acquisition of a
+/// zygote-resident module at fork time (default 100 µs).
+fn parse_zygote_pool(
+    args: &[String],
+    node_size: Option<usize>,
+) -> Result<Option<NodeZygotePool>, String> {
+    let zygotes = match flag_value(args, "--zygotes")? {
+        Some(n) => n,
+        None => match std::env::var("SLIMSTART_ZYGOTES") {
+            Ok(v) if !v.is_empty() => v
+                .parse()
+                .map_err(|_| "SLIMSTART_ZYGOTES must be an integer".to_string())?,
+            _ => 0,
+        },
+    };
+    if zygotes == 0 {
+        if flag_value(args, "--fork-cost-us")?.is_some() {
+            return Err("--fork-cost-us needs the zygote pool (pass --zygotes)".to_string());
+        }
+        return Ok(None);
+    }
+    let fork_cost = flag_value(args, "--fork-cost-us")?
+        .map(SimDuration::from_micros)
+        .unwrap_or(DEFAULT_FORK_COST);
+    Ok(Some(NodeZygotePool::new(
+        zygotes as usize,
+        node_size.unwrap_or(DEFAULT_NODE_SIZE),
+        fork_cost,
+    )))
 }
 
 fn run_fleet(config: FleetConfig, light: bool, json: bool) -> Result<(), String> {

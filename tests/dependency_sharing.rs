@@ -1,0 +1,142 @@
+//! Per-node live dependency sharing: integration contract for the zygote
+//! pool (PR 10).
+//!
+//! Three properties are pinned here:
+//!
+//! 1. **Determinism.** A zygote-enabled fleet serializes byte-identically
+//!    across 1/2/4 worker threads — the pool is planned sequentially up
+//!    front from the run-0 builds, so the work-stealing scheduler can
+//!    never perturb which zygote an app forks from.
+//! 2. **Passthrough.** With zygotes disabled the report keeps the v3
+//!    schema and matches the committed PR 9 golden byte-for-byte: no
+//!    `zygote` keys leak, no golden re-bless was needed.
+//! 3. **Benefit.** Sharing the node's hottest closure strictly lowers the
+//!    fleet's summed baseline cold-init time versus the same fleet without
+//!    a pool.
+
+use std::fs;
+use std::path::PathBuf;
+
+use slimstart::appmodel::catalog::light_population;
+use slimstart::fleet::{FleetConfig, FleetOrchestrator, FleetReport, NodeZygotePool};
+use slimstart::platform::chaos::ChaosConfig;
+use slimstart::platform::PlatformConfig;
+use slimstart_core::pipeline::PipelineConfig;
+
+fn base_config(threads: usize) -> FleetConfig {
+    FleetConfig::default()
+        .with_apps(6)
+        .with_threads(threads)
+        .with_seed(2025)
+        .with_cold_starts(10)
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        )
+}
+
+fn run_catalog(config: FleetConfig) -> FleetReport {
+    let (report, _) = FleetOrchestrator::new(config).run().expect("fleet runs");
+    report
+}
+
+#[test]
+fn zygote_fleet_json_is_byte_identical_across_1_2_4_threads() {
+    let baseline = run_catalog(base_config(1).with_zygote_pool(NodeZygotePool::default_geometry()));
+    let json = baseline.to_json();
+    assert!(
+        json.contains("\"schema\":\"slimstart-fleet-report/v4\""),
+        "zygote-enabled reports must carry the v4 schema"
+    );
+    let summary = baseline.zygotes.expect("zygote summary present");
+    assert!(summary.forks > 0, "cold starts must fork from zygotes");
+    assert!(
+        summary.forked_loads > 0,
+        "forks must acquire resident modules"
+    );
+    for threads in [2, 4] {
+        let report =
+            run_catalog(base_config(threads).with_zygote_pool(NodeZygotePool::default_geometry()));
+        assert_eq!(
+            json,
+            report.to_json(),
+            "zygote report bytes moved between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn zygote_chaos_fleet_is_byte_identical_across_worker_counts() {
+    // Fault injection and dependency sharing compose: chaos draws from
+    // per-app streams split up front, and the zygote plan is fixed before
+    // any worker starts, so neither perturbs the other across schedules.
+    let chaotic = |threads: usize| {
+        let config = base_config(threads)
+            .with_apps(5)
+            .with_chaos(ChaosConfig::uniform(0.2))
+            .with_zygote_pool(NodeZygotePool::default_geometry());
+        run_catalog(config)
+    };
+    let sequential = chaotic(1);
+    let json = sequential.to_json();
+    assert_eq!(json, chaotic(4).to_json());
+    assert!(json.contains("\"chaos\""), "chaos summary must be present");
+    assert!(
+        json.contains("\"zygotes\""),
+        "zygote summary must be present"
+    );
+}
+
+#[test]
+fn zygote_disabled_fleet_matches_the_committed_v3_golden() {
+    // The exact configuration behind tests/golden/fleet_report.json —
+    // proving the zygote subsystem is a strict passthrough when disabled,
+    // against the artifact committed before it existed.
+    let config = FleetConfig::default()
+        .with_apps(4)
+        .with_threads(2)
+        .with_seed(2025)
+        .with_cold_starts(10)
+        .with_pipeline(
+            PipelineConfig::default().with_platform(PlatformConfig::default().without_jitter()),
+        );
+    let json = run_catalog(config).to_json();
+    assert!(json.contains("\"schema\":\"slimstart-fleet-report/v3\""));
+    assert!(
+        !json.contains("zygote"),
+        "no zygote keys may leak when disabled"
+    );
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fleet_report.json");
+    let expected = fs::read_to_string(golden).expect("committed golden");
+    assert_eq!(
+        expected, json,
+        "disabled zygotes must not move report bytes"
+    );
+}
+
+#[test]
+fn sharing_strictly_lowers_summed_baseline_cold_init() {
+    // Table-3 direction at fleet granularity: resident modules acquired at
+    // fork cost must pull every app's baseline cold init down. The light
+    // fixtures share their library closure, so a single zygote per node
+    // covers the whole population.
+    let run_light = |zygote: Option<NodeZygotePool>| {
+        let mut config = base_config(2).with_apps(12).with_cold_starts(5);
+        if let Some(pool) = zygote {
+            config = config.with_zygote_pool(pool);
+        }
+        let population = light_population(config.apps);
+        let (report, _) = FleetOrchestrator::new(config)
+            .run_population(&population)
+            .expect("light fleet runs");
+        report
+    };
+    let unshared = run_light(None);
+    let shared = run_light(Some(NodeZygotePool::default_geometry()));
+    let sum = |r: &FleetReport| -> f64 { r.detail.iter().map(|a| a.baseline_init_ms).sum() };
+    assert!(
+        sum(&shared) < sum(&unshared),
+        "sharing must lower summed baseline cold init ({} >= {})",
+        sum(&shared),
+        sum(&unshared)
+    );
+}
